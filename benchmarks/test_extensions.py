@@ -1,0 +1,48 @@
+"""Benchmarks for the Section 7 extension studies."""
+
+from repro.experiments import extensions
+
+
+def test_generation_phase(run_once, fast_mode):
+    """Section 7.3: decode-phase ARs are latency-bound but still on the
+    critical path; hiding them wins a bounded amount."""
+    result = run_once(extensions.run_generation, fast=fast_mode)
+    print("\n" + result.render())
+    for row in result.rows:
+        assert 0.0 < row.comm_fraction < 0.6
+        assert 1.0 < row.hidden_speedup < 1.8
+    # Generation comm share grows with TP (more latency-bound steps).
+    tnlg = {r.tp: r for r in result.rows if r.model == "T-NLG"}
+    assert tnlg[16].comm_fraction > tnlg[8].comm_fraction
+
+
+def test_lower_precision(run_once, fast_mode):
+    """Section 7.5: FP8 shrinks compute ~4x but communication only 2x, so
+    overlap helps more than at FP16."""
+    result = run_once(extensions.run_precision, fast=fast_mode)
+    print("\n" + result.render())
+    fp16 = result.row("fp16")
+    fp8 = result.row("fp8")
+    assert fp8.gemm_us < fp16.gemm_us / 2.5
+    assert fp8.rs_us > fp16.rs_us / 2.5  # comm shrinks only linearly
+    # Compute:comm ratio dropped -> the collective dominates and ideal
+    # overlap saves a larger fraction.
+    assert fp8.ideal_speedup != fp16.ideal_speedup
+
+
+def test_nmc_following_ops(run_once, fast_mode):
+    """Section 7.6: running post-AR element-wise operators near memory on
+    the reduced sub-array adds a few percent end to end."""
+    result = run_once(extensions.run_following_ops, fast=fast_mode)
+    print("\n" + result.render())
+    for row in result.rows:
+        assert 1.005 < row.speedup < 1.2
+
+
+def test_consumer_side_fusion(run_once, fast_mode):
+    """Section 7.2: gating consumer-GEMM workgroups on all-gather chunk
+    arrival hides the AG behind the compute."""
+    result = run_once(extensions.run_consumer_fusion, fast=fast_mode)
+    print("\n" + result.render())
+    for row in result.rows:
+        assert row.speedup > 1.1

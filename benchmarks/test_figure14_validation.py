@@ -1,0 +1,16 @@
+"""Figure 14 — multi-GPU reduce-scatter simulation validation.
+
+Paper: simulated RS on 4 GPUs follows MI210 hardware within 6% geomean
+error over 6-192 MB.  Our reference is the closed-form ring model (see
+DESIGN.md substitutions).
+"""
+
+from repro.experiments import validation
+
+
+def test_figure14_validation(run_once, fast_mode):
+    result = run_once(validation.run, fast=fast_mode)
+    print("\n" + result.render())
+    assert result.geomean_error < 0.12
+    # Error shrinks as fixed overheads amortize with size.
+    assert result.points[-1].error <= result.points[0].error

@@ -1,0 +1,26 @@
+"""Figure 15 — sub-layer runtime split between GEMM, RS and AG.
+
+Paper: proportions vary per layer/TP; FC layers are GEMM-heavy, OP is
+communication-heavy (it is the smallest sliced GEMM).
+"""
+
+from repro.experiments import figure15
+
+
+def test_figure15_distribution(run_once, fast_mode):
+    result = run_once(figure15.run, fast=fast_mode)
+    print("\n" + result.render())
+    assert len(result.rows) == 16  # 2 models x 2 TPs x 4 sub-layers
+    by_case = {r.case: r for r in result.rows}
+    for model in ("Mega-GPT-2", "T-NLG"):
+        for tp in (8, 16):
+            op = by_case[f"{model}/OP/TP{tp}"]
+            fc2 = by_case[f"{model}/FC-2/TP{tp}"]
+            # OP's GEMM share is the smallest of the four sub-layers.
+            assert op.gemm_fraction < fc2.gemm_fraction
+    # Comm (RS+AG) share grows with TP for the same sub-layer: the GEMM
+    # shrinks with K/tp while the AR payload is constant.
+    for model in ("Mega-GPT-2", "T-NLG"):
+        low = by_case[f"{model}/FC-2/TP8"]
+        high = by_case[f"{model}/FC-2/TP16"]
+        assert high.gemm_fraction < low.gemm_fraction

@@ -1,0 +1,30 @@
+"""Figure 16 — sub-layer speedups of T3 / T3-MCA / ideals over Sequential.
+
+Paper headline: T3 20% geomean (max 39%); T3-MCA 30% geomean (max 47%);
+Ideal-GEMM-RS-Overlap 35% geomean (max 50%); Ideal-RS+NMC adds up to 4%.
+"""
+
+from repro.experiments import figure16
+
+
+def test_figure16_speedups(run_once, fast_mode):
+    result = run_once(figure16.run, fast=fast_mode)
+    print("\n" + result.render())
+    table = result.table
+
+    # Geomeans in the paper's bands (wide enough for fast-mode scaling).
+    assert 1.10 < table.geomean("T3") < 1.40
+    assert 1.15 < table.geomean("T3-MCA") < 1.45
+    assert 1.25 < table.geomean("Ideal-GEMM-RS-Overlap") < 1.50
+    assert table.max("T3-MCA") > 1.30  # paper max: 1.47
+
+    # Structural orderings.
+    assert table.geomean("T3-MCA") >= table.geomean("T3") * 0.999
+    assert table.geomean("Ideal-GEMM-RS-Overlap") >= table.geomean("T3-MCA") * 0.98
+    assert table.geomean("Ideal-RS+NMC") >= \
+        table.geomean("Ideal-GEMM-RS-Overlap")
+
+    # T3-MCA geomean is within ~10% of the contention-free ideal
+    # (paper: 5%).
+    assert table.geomean("T3-MCA") > \
+        table.geomean("Ideal-GEMM-RS-Overlap") - 0.12

@@ -1,0 +1,22 @@
+"""Figure 17 — DRAM traffic timelines: baseline GEMM vs T3 overlap.
+
+Paper: the baseline GEMM alternates read phases with bursty write phases;
+under T3 the RS reads/updates share DRAM and stall GEMM reads, slowing
+the GEMM (the motivation for MCA).
+"""
+
+from repro.experiments import figure17
+
+
+def test_figure17_traffic_timeline(run_once, fast_mode):
+    result = run_once(figure17.run, fast=fast_mode)
+    print("\n" + result.render())
+    # T3 overlap stretches the producer GEMM (contention), but bounded.
+    assert 1.0 <= result.gemm_slowdown < 1.5
+    # Bursty writes: peak write bin well above the mean.
+    writes = result.baseline_series["GEMM writes"]
+    mean = sum(writes.bytes_per_bin) / max(1, len(writes.bytes_per_bin))
+    assert writes.peak > 2 * mean
+    # The T3 run carries all four traffic classes.
+    for key in ("GEMM reads", "GEMM updates", "RS reads", "RS updates"):
+        assert result.t3_series[key].total > 0

@@ -1,0 +1,20 @@
+"""Figure 18 — DRAM access breakdown per sub-layer, Sequential vs T3.
+
+Paper: data movement falls 22% geomean (max 36%); RS reads shrink 2.4x
+geomean; GEMM+RS writes ~10%; GEMM reads 1.56x geomean.
+"""
+
+from repro.experiments import figure18
+
+
+def test_figure18_dram_accesses(run_once, fast_mode):
+    result = run_once(figure18.run, fast=fast_mode)
+    print("\n" + result.render())
+    assert 0.10 < result.geomean_total_reduction() < 0.45
+    assert result.max_total_reduction() < 0.55
+    # RS reads: (2N-1)/(N-2) chunks = 2.33x at N=8, 2.14x at N=16.
+    assert 1.9 < result.geomean_rs_read_ratio() < 2.6
+    # GEMM reads fall from LLC write-bypass (paper: 1.56x geomean).
+    assert 1.0 <= result.geomean_gemm_read_ratio() < 2.5
+    # Writes shrink ~1/N (paper: 10% geomean).
+    assert 1.02 < result.geomean_write_ratio() < 1.25

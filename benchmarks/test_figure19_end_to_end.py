@@ -1,0 +1,19 @@
+"""Figure 19 — end-to-end model speedups from sub-layer gains.
+
+Paper: training up to 9% (T3) / 12% (T3-MCA); prompt inference up to 12% /
+15%; inference benefits more than training.
+"""
+
+from repro.experiments import figure19
+
+
+def test_figure19_end_to_end(run_once, fast_mode):
+    result = run_once(figure19.run, fast=fast_mode)
+    print("\n" + result.render())
+    for phase in ("training", "prompt"):
+        best = result.max_speedup("T3-MCA", phase)
+        assert 1.03 < best < 1.25
+    # Every row shows a real end-to-end gain, and MCA >= T3.
+    for row in result.rows:
+        assert row.t3_speedup > 1.0
+        assert row.t3_mca_speedup >= row.t3_speedup * 0.999

@@ -1,0 +1,19 @@
+"""Figure 4 — iteration-time share of sliced-GEMM->AR across models.
+
+Paper: communication is up to 34% (Mega-GPT-2) / 43% (T-NLG) of training
+and prompt time; up to 46% for very large models and 44% for futuristic
+1T/10T models at TP=64.
+"""
+
+from repro.experiments import figure4
+
+
+def test_figure4_breakdown(run_once, fast_mode):
+    result = run_once(figure4.run, fast=fast_mode)
+    print("\n" + result.render())
+    assert 0.25 < result.max_comm_fraction("Mega-GPT-2") < 0.45
+    assert 0.25 < result.max_comm_fraction("T-NLG") < 0.50
+    assert 0.20 < result.max_comm_fraction("MT-NLG") < 0.55
+    assert 0.25 < result.max_comm_fraction("Future-1T") < 0.55
+    # The sliced share exceeds the pure-communication share everywhere.
+    assert all(r.sliced_fraction > r.comm_fraction for r in result.rows)

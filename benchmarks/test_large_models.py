@@ -1,0 +1,18 @@
+"""Section 6.4 — sub-layer speedups for ~0.2-0.5T-parameter models.
+
+Paper: GPT-3 / PALM / MT-NLG at TP=32 see 29% geomean (max 35%) sub-layer
+speedups with T3-MCA.
+"""
+
+from repro.experiments import figure16
+
+
+def test_large_model_speedups(run_once, fast_mode):
+    result = run_once(figure16.run, fast=fast_mode, large=True)
+    print("\n" + result.render())
+    table = result.table
+    assert len(table.rows) == 12  # 3 models x 4 sub-layers
+    assert 1.08 < table.geomean("T3-MCA") < 1.45
+    assert table.max("T3-MCA") > 1.2
+    assert table.geomean("Ideal-GEMM-RS-Overlap") >= \
+        table.geomean("T3-MCA") * 0.98

@@ -1,0 +1,20 @@
+"""Quantitative Table-3 companion: in-switch reduction vs T3-MCA."""
+
+from repro.experiments import related_work
+
+
+def test_in_switch_comparison(run_once, fast_mode):
+    """In-switch hardware halves collective time but leaves it serialized
+    (Klenk et al.).  Its advantage is largest on communication-skewed
+    layers (OP) and shrinks as the GEMM grows (FC-2) — where T3's
+    overlap, which needs no switches at all, catches up."""
+    result = run_once(related_work.run, fast=fast_mode)
+    print("\n" + result.render())
+    by_case = {r.case: r for r in result.rows}
+    for model in ("Mega-GPT-2", "T-NLG"):
+        op = by_case[f"{model}/OP/TP8"]
+        fc2 = by_case[f"{model}/FC-2/TP8"]
+        gap_op = op.in_switch_speedup - op.t3_mca_speedup
+        gap_fc2 = fc2.in_switch_speedup - fc2.t3_mca_speedup
+        assert gap_fc2 < gap_op
+    assert result.geomean("t3") > 1.1

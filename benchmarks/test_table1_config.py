@@ -1,0 +1,13 @@
+"""Table 1 — render and sanity-check the simulated system configuration."""
+
+from repro.experiments import tables
+
+
+def test_table1_config(run_once):
+    result = run_once(tables.run_table1)
+    print("\n" + result.render())
+    system = result.system
+    assert system.compute.n_cus == 80
+    assert system.memory.llc_bytes == 16 * 1024 * 1024
+    assert system.link.bidirectional_bandwidth == 150.0
+    assert system.tracker.n_entries == 256

@@ -1,0 +1,13 @@
+"""Table 2 — render the model zoo and check parameter counts."""
+
+from repro.experiments import tables
+from repro.models import zoo
+
+
+def test_table2_models(run_once):
+    result = run_once(tables.run_table2)
+    print("\n" + result.render())
+    assert len(result.rows) == len(zoo.all_models())
+    # Advertised parameter scales (Section 1 / Table 2).
+    assert 1.5e11 < zoo.gpt3().n_parameters < 2.2e11
+    assert 4.0e11 < zoo.palm().n_parameters < 6.5e11

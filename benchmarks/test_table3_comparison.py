@@ -1,0 +1,11 @@
+"""Table 3 — qualitative comparison with prior approaches."""
+
+from repro.experiments import tables
+
+
+def test_table3_comparison(run_once):
+    result = run_once(tables.run_table3)
+    print("\n" + result.render())
+    assert result.dominates("T3-MCA")
+    # Every prior approach misses at least one feature.
+    assert sum(all(flags) for flags in result.features.values()) == 1

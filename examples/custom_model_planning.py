@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Capacity planning for a custom model: pick a TP degree with T3 in mind.
+
+A downstream-user workflow: define your own Transformer, sweep
+tensor-parallel degrees, and see (a) whether it fits the node's aggregate
+HBM, (b) how much of each iteration serialized communication costs, and
+(c) what T3 recovers — the decision the paper's introduction motivates.
+
+Run:  python examples/custom_model_planning.py
+"""
+
+from repro.config import table1_system
+from repro.experiments.sublayer_sweep import run_case
+from repro.models.endtoend import Phase, apply_sublayer_speedups, iteration_breakdown
+from repro.models.transformer import TransformerConfig
+
+#: 24 GiB of HBM per GPU (adjust for your parts).
+HBM_CAPACITY_PER_GPU = 24 * 2**30
+
+
+def fits(model: TransformerConfig, tp: int) -> bool:
+    """Weights in FP16 + optimizer states (~3x) must fit the TP group."""
+    needed = model.n_parameters * 2 * 4
+    return needed <= tp * HBM_CAPACITY_PER_GPU
+
+
+def main() -> None:
+    model = TransformerConfig(
+        name="my-llm-30b", hidden=6144, n_layers=64,
+        seq_len=2048, batch=4,
+    )
+    print(f"model: {model.name}, {model.n_parameters / 1e9:.0f}B parameters, "
+          f"{model.tokens} tokens/iteration\n")
+
+    best = None
+    for tp in (4, 8, 16):
+        tag = "fits" if fits(model, tp) else "DOES NOT FIT"
+        print(f"TP={tp:2d}: weights+optimizer {tag} in "
+              f"{tp} x {HBM_CAPACITY_PER_GPU / 2**30:.0f} GiB")
+        if not fits(model, tp):
+            continue
+        system = table1_system(n_gpus=tp)
+        breakdown = iteration_breakdown(model, tp, system, Phase.TRAINING)
+        speedups = {
+            name: run_case(model.sublayer(name, tp), fast=True)
+            .speedup("T3-MCA")
+            for name in ("OP", "FC-2", "FC-1", "IP")
+        }
+        gain = apply_sublayer_speedups(breakdown, speedups)
+        print(f"       iteration {breakdown.total_time() / 1e6:6.1f}ms, "
+              f"comm share {breakdown.comm_fraction():5.1%}, "
+              f"T3-MCA end-to-end gain {gain:.3f}x")
+        if best is None or gain > best[1]:
+            best = (tp, gain)
+
+    if best:
+        print(f"\nrecommendation: TP={best[0]} "
+              f"(T3-MCA recovers {100 * (best[1] - 1):.1f}% per iteration)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Expert parallelism: fuse the MoE all-to-all with its producer GEMM.
+
+Mixture-of-experts layers route each token to an expert on another GPU:
+after the router GEMM, tokens are exchanged with a serialized all-to-all
+(Section 7.2).  With T3 the producer's output address space is
+``remote_map``-ed so each expert's token block streams to its GPU as the
+GEMM produces it — plain stores, no reduction, no DMA, no CU kernel.
+
+This script runs both versions of a synthetic MoE dispatch on a
+fully-connected 8-GPU node and reports the overlap win.
+
+Run:  python examples/moe_all_to_all.py
+"""
+
+from repro import table1_system
+from repro.collectives.api import ring_ag_time
+from repro.gpu.wavefront import GEMMShape
+from repro.interconnect.topology import FullyConnectedTopology
+from repro.sim import Environment
+from repro.t3.fusion import FusedGEMMRS
+from repro.units import pretty_time
+
+
+def main() -> None:
+    n_experts = 8
+    system = table1_system(n_gpus=n_experts).with_fidelity(
+        quantum_bytes=32 * 1024)
+    # Router/up-projection GEMM: 8K tokens x 4096 hidden; its output is
+    # scattered token-block-by-token-block to the experts.
+    shape = GEMMShape(m=2048, n=4096, k=2048, name="moe-dispatch")
+
+    env = Environment()
+    topo = FullyConnectedTopology(env, system)
+    fused = FusedGEMMRS(topo, shape, collective="all-to-all")
+    result = fused.run()
+
+    # Baseline: the GEMM, then a dedicated all-to-all kernel (bandwidth-
+    # equivalent to an all-gather of the exchanged volume on this node).
+    gemm_alone = result.gemm_duration  # same kernel, fully local writes
+    exchanged = shape.output_bytes * (n_experts - 1) // n_experts
+    a2a_alone = ring_ag_time(exchanged, system)
+    sequential = gemm_alone + a2a_alone
+
+    print(f"experts             : {n_experts}")
+    print(f"dispatch GEMM       : [{shape.m} x {shape.k}] @ "
+          f"[{shape.k} x {shape.n}]")
+    print(f"tokens exchanged    : {exchanged / 2**20:.0f} MiB per GPU\n")
+    print(f"sequential (GEMM then all-to-all): {pretty_time(sequential)}")
+    print(f"T3 fused (stores stream to experts): "
+          f"{pretty_time(result.duration)}")
+    print(f"overlap speedup: {sequential / result.duration:.2f}x")
+
+    gpu = topo.gpus[0]
+    print("\nper-GPU ledger (note: zero collective reads, zero DMA):")
+    for key, value in sorted(gpu.mc.counters.as_dict().items()):
+        print(f"  {key:12} {value / 2**20:8.1f} MiB")
+    print(f"  dma commands: {gpu.dma.programmed_commands}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""How much does serialized all-reduce cost a Transformer — and how much
+does T3 win back?  (Figures 4 and 19 as a workflow.)
+
+For each model / tensor-parallel degree this script:
+
+1. builds the end-to-end iteration breakdown (training + prompt phases),
+2. reports the share of time in sliced-GEMM->AR groups and in pure
+   communication,
+3. simulates the four AR-feeding sub-layers under T3-MCA (token-scaled),
+4. projects the end-to-end speedup the paper's Section 5.1.2 way.
+
+Run:  python examples/transformer_scaling.py [model-name]
+"""
+
+import sys
+
+from repro.config import table1_system
+from repro.experiments.sublayer_sweep import run_case
+from repro.models import zoo
+from repro.models.endtoend import (
+    Phase,
+    apply_sublayer_speedups,
+    iteration_breakdown,
+)
+
+
+def analyse(model, tp: int) -> None:
+    system = table1_system(n_gpus=tp)
+    print(f"\n--- {model.name} @ TP={tp} "
+          f"({model.n_parameters / 1e9:.0f}B params) ---")
+
+    speedups = {}
+    for name in ("OP", "FC-2", "FC-1", "IP"):
+        suite = run_case(model.sublayer(name, tp), fast=True)
+        speedups[name] = suite.speedup("T3-MCA")
+        print(f"  sub-layer {name:5}: GEMM {suite.gemm_time / 1e3:7.0f}us  "
+              f"RS {suite.rs_time / 1e3:7.0f}us  "
+              f"T3-MCA speedup {speedups[name]:.2f}x")
+
+    for phase in (Phase.TRAINING, Phase.PROMPT):
+        breakdown = iteration_breakdown(model, tp, system, phase)
+        groups = (("OP", "FC-2", "FC-1", "IP") if phase is Phase.TRAINING
+                  else ("OP", "FC-2"))
+        end_to_end = apply_sublayer_speedups(
+            breakdown, {g: speedups[g] for g in groups})
+        print(f"  {phase.value:9}: iteration {breakdown.total_time() / 1e6:7.1f}ms, "
+              f"comm {breakdown.comm_fraction():5.1%}, "
+              f"sliced {breakdown.sliced_fraction():5.1%} "
+              f"-> T3-MCA end-to-end {end_to_end:.3f}x")
+
+
+def main() -> None:
+    wanted = sys.argv[1] if len(sys.argv) > 1 else None
+    models = [zoo.by_name(wanted)] if wanted else zoo.small_models()
+    for model in models:
+        for tp in zoo.TP_SETUPS[model.name]:
+            analyse(model, tp)
+
+
+if __name__ == "__main__":
+    main()

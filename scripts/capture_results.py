@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regenerate every table/figure in one process and save rendered outputs.
+
+The sub-layer sweep cache is shared within the process, so Figures 15, 16,
+18 and 19 reuse one sweep.  Outputs land in results/<name>.txt and a
+combined results/all_results.txt.
+
+Usage: python scripts/capture_results.py [--full]
+"""
+
+import pathlib
+import sys
+import time
+
+from repro.experiments.runner import EXPERIMENTS
+
+ORDER = [
+    "table1", "table2", "table3", "figure4", "figure6", "figure14",
+    "figure15", "figure16", "figure16-large", "figure17", "figure18",
+    "figure19", "figure20",
+]
+
+
+def main() -> None:
+    fast = "--full" not in sys.argv
+    name = "results" if fast else "results_full"
+    outdir = pathlib.Path.cwd() / name
+    outdir.mkdir(exist_ok=True)
+    combined = []
+    for name in ORDER:
+        started = time.time()
+        result = EXPERIMENTS[name](fast=fast)
+        text = result.render()
+        elapsed = time.time() - started
+        stamped = f"{text}\n[{name}: {elapsed:.1f}s, fast={fast}]\n"
+        (outdir / f"{name}.txt").write_text(stamped)
+        combined.append(stamped)
+        print(f"done {name} in {elapsed:.1f}s", flush=True)
+    (outdir / "all_results.txt").write_text("\n".join(combined))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — a from-scratch Python reproduction of T3 (ASPLOS 2024).
+
+T3 (Pati et al., "Transparent Tracking & Triggering for Fine-grained
+Overlap of Compute & Collectives") co-designs hardware and software to
+overlap tensor-parallel GEMMs with the serialized ring reduce-scatter that
+follows them.  This package rebuilds the full evaluation stack:
+
+* :mod:`repro.sim` — discrete-event simulation kernel,
+* :mod:`repro.memory` — HBM, LLC, memory-controller arbitration, NMC,
+* :mod:`repro.gpu` — CUs, tiled GEMM kernels, DMA engines,
+* :mod:`repro.interconnect` — ring / fully-connected links,
+* :mod:`repro.collectives` — ring-RS/AG/AR, direct-RS, all-to-all,
+* :mod:`repro.t3` — the paper's contribution: Tracker, triggering,
+  address-space configuration, fused GEMM-collective, MCA,
+* :mod:`repro.models` — Transformer zoo and end-to-end projections,
+* :mod:`repro.experiments` — one runner per paper table / figure.
+
+Quickstart::
+
+    from repro import table1_system, run_sublayer
+    from repro.models import zoo
+
+    system = table1_system(n_gpus=8)
+    sublayer = zoo.megatron_gpt2().sublayer("FC-2", tp=8)
+    result = run_sublayer(system, sublayer, config="T3-MCA")
+    print(result.speedup_over_sequential)
+"""
+
+from repro.config import (
+    ComputeConfig,
+    FidelityConfig,
+    GEMMKernelConfig,
+    LinkConfig,
+    MCAConfig,
+    MemoryConfig,
+    SystemConfig,
+    TrackerConfig,
+    table1_system,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComputeConfig",
+    "FidelityConfig",
+    "GEMMKernelConfig",
+    "LinkConfig",
+    "MCAConfig",
+    "MemoryConfig",
+    "SystemConfig",
+    "TrackerConfig",
+    "table1_system",
+    "run_sublayer",
+    "__version__",
+]
+
+
+def run_sublayer(*args, **kwargs):
+    """Lazy wrapper for :func:`repro.experiments.common.run_sublayer`.
+
+    Imported lazily so that ``import repro`` stays cheap.
+    """
+    from repro.experiments.common import run_sublayer as _run
+
+    return _run(*args, **kwargs)

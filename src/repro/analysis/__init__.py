@@ -1,0 +1,25 @@
+"""Result reduction: speedups, geomeans, DRAM traffic breakdowns."""
+
+from repro.analysis.energy import (
+    EnergyModel,
+    EnergyReport,
+    energy_saving,
+    sublayer_energy,
+)
+from repro.analysis.metrics import SpeedupTable, geomean, speedup
+from repro.analysis.trace import TraceRecorder, TraceSpan
+from repro.analysis.traffic import DramBreakdown, collect_breakdown
+
+__all__ = [
+    "DramBreakdown",
+    "EnergyModel",
+    "EnergyReport",
+    "SpeedupTable",
+    "TraceRecorder",
+    "TraceSpan",
+    "collect_breakdown",
+    "energy_saving",
+    "geomean",
+    "speedup",
+    "sublayer_energy",
+]

@@ -1,0 +1,73 @@
+"""Speedup bookkeeping in the paper's reporting style (geomean + max)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.sim.stats import geomean
+
+
+def speedup(baseline_time: float, new_time: float) -> float:
+    if baseline_time <= 0 or new_time <= 0:
+        raise ValueError("times must be positive")
+    return baseline_time / new_time
+
+
+@dataclass
+class SpeedupTable:
+    """Named speedups over a shared baseline, reduced paper-style."""
+
+    baseline_name: str = "Sequential"
+    #: case label -> {config name -> speedup}
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def add(self, case: str, config: str, value: float) -> None:
+        if value <= 0:
+            raise ValueError("speedups must be positive")
+        self.rows.setdefault(case, {})[config] = value
+
+    def configs(self) -> List[str]:
+        names: List[str] = []
+        for row in self.rows.values():
+            for name in row:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def column(self, config: str) -> List[float]:
+        return [row[config] for row in self.rows.values() if config in row]
+
+    def geomean(self, config: str) -> float:
+        return geomean(self.column(config))
+
+    def max(self, config: str) -> float:
+        return max(self.column(config))
+
+    def summary(self) -> Dict[str, Tuple[float, float]]:
+        """config -> (geomean, max), the paper's headline format."""
+        return {
+            name: (self.geomean(name), self.max(name))
+            for name in self.configs()
+        }
+
+    def render(self, title: str = "") -> str:
+        """Fixed-width table for terminal output."""
+        configs = self.configs()
+        width = max((len(c) for c in self.rows), default=4) + 2
+        lines = []
+        if title:
+            lines.append(title)
+        header = "case".ljust(width) + "".join(
+            f"{c:>22}" for c in configs)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for case, row in self.rows.items():
+            lines.append(case.ljust(width) + "".join(
+                f"{row.get(c, float('nan')):>22.3f}" for c in configs))
+        lines.append("-" * len(header))
+        lines.append("geomean".ljust(width) + "".join(
+            f"{self.geomean(c):>22.3f}" for c in configs))
+        lines.append("max".ljust(width) + "".join(
+            f"{self.max(c):>22.3f}" for c in configs))
+        return "\n".join(lines)

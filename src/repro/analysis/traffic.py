@@ -1,0 +1,72 @@
+"""DRAM access accounting (Figures 17/18).
+
+Reduces memory-controller counters into the paper's categories: GEMM
+reads/writes, RS reads/writes(+NMC updates), AG reads/writes.  Counters
+are averaged across GPUs (executions are homogeneous; per-GPU numbers
+match to within chunk rounding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.gpu.gpu import GPU
+
+
+@dataclass(frozen=True)
+class DramBreakdown:
+    """Per-GPU DRAM bytes by traffic category."""
+
+    gemm_read: float
+    gemm_write: float
+    rs_read: float
+    rs_write: float
+    ag_read: float
+    ag_write: float
+
+    @property
+    def total(self) -> float:
+        return (self.gemm_read + self.gemm_write + self.rs_read
+                + self.rs_write + self.ag_read + self.ag_write)
+
+    @property
+    def reads(self) -> float:
+        return self.gemm_read + self.rs_read + self.ag_read
+
+    @property
+    def writes(self) -> float:
+        return self.gemm_write + self.rs_write + self.ag_write
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "gemm_read": self.gemm_read,
+            "gemm_write": self.gemm_write,
+            "rs_read": self.rs_read,
+            "rs_write": self.rs_write,
+            "ag_read": self.ag_read,
+            "ag_write": self.ag_write,
+        }
+
+
+def collect_breakdown(gpus: Iterable[GPU]) -> DramBreakdown:
+    """Average the per-GPU counters into one breakdown.
+
+    NMC updates count as writes in their category (they are stores with
+    attendant in-DRAM compute), matching the paper's Figure 18 buckets.
+    """
+    gpu_list: List[GPU] = list(gpus)
+    if not gpu_list:
+        raise ValueError("need at least one GPU")
+
+    def avg(key: str) -> float:
+        return sum(g.mc.counters.get(key) for g in gpu_list) / len(gpu_list)
+
+    return DramBreakdown(
+        gemm_read=avg("gemm.read"),
+        gemm_write=avg("gemm.write") + avg("gemm.update"),
+        rs_read=avg("rs.read"),
+        rs_write=avg("rs.write") + avg("rs.update"),
+        ag_read=avg("ag.read"),
+        ag_write=avg("ag.write") + avg("ag.update"),
+    )

@@ -1,0 +1,50 @@
+"""Collective communication: schedules, analytic models, baseline kernels.
+
+* :mod:`repro.collectives.api` — collective types plus closed-form time /
+  traffic models (used for the ideal configurations and the Figure 14
+  "hardware" reference).
+* :mod:`repro.collectives.schedule` — per-rank chunk schedules for
+  ring-RS / ring-AG / all-to-all / direct-RS.
+* :mod:`repro.collectives.baseline` — the CU-driven collective kernels of
+  today's GPUs (Figure 10a): the thing T3 replaces.
+"""
+
+from repro.collectives.api import (
+    CollectiveOp,
+    ring_ag_time,
+    ring_ar_time,
+    ring_rs_time,
+    rs_with_nmc_time,
+)
+from repro.collectives.schedule import (
+    RingStep,
+    all_to_all_schedule,
+    chunk_sizes,
+    direct_rs_peers,
+    ring_ag_schedule,
+    ring_rs_schedule,
+)
+from repro.collectives.baseline import (
+    CollectiveResult,
+    RingAllGather,
+    RingAllReduce,
+    RingReduceScatter,
+)
+
+__all__ = [
+    "CollectiveOp",
+    "CollectiveResult",
+    "RingAllGather",
+    "RingAllReduce",
+    "RingReduceScatter",
+    "RingStep",
+    "all_to_all_schedule",
+    "chunk_sizes",
+    "direct_rs_peers",
+    "ring_ag_schedule",
+    "ring_ag_time",
+    "ring_ar_time",
+    "ring_rs_schedule",
+    "ring_rs_time",
+    "rs_with_nmc_time",
+]

@@ -1,0 +1,137 @@
+"""Collective types and closed-form cost models.
+
+The closed forms serve three roles:
+
+1. the "hardware measurement" reference of the Figure 14 validation (see
+   DESIGN.md substitutions — we validate the event simulator against
+   these the way the paper validates Accel-Sim against an MI210 node);
+2. the *Ideal-GEMM-RS-Overlap* and *Ideal-RS+NMC* configurations
+   (Section 5.3), which by definition use isolated kernel times with no
+   contention;
+3. quick analytic sweeps in the end-to-end model (Figure 4 / 19).
+
+A ring collective over ``N`` devices moves ``N-1`` chunk-sized steps; each
+step is limited by the slowest of link serialization, DRAM traffic, and
+(for CU-driven reductions) CU reduce throughput.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.config import SystemConfig
+
+
+class CollectiveOp(enum.Enum):
+    REDUCE_SCATTER = "reduce-scatter"
+    ALL_GATHER = "all-gather"
+    ALL_REDUCE = "all-reduce"
+    ALL_TO_ALL = "all-to-all"
+
+
+#: fixed software cost to launch a collective kernel / step bookkeeping.
+DEFAULT_LAUNCH_OVERHEAD_NS = 2_000.0
+
+
+def _step_bytes(nbytes_total: int, n_gpus: int) -> float:
+    if nbytes_total <= 0:
+        raise ValueError("collective payload must be positive")
+    if n_gpus < 2:
+        raise ValueError("collectives need at least 2 devices")
+    return nbytes_total / n_gpus
+
+
+def ring_rs_time(nbytes_total: int, system: SystemConfig,
+                 n_cus: Optional[int] = None,
+                 launch_overhead_ns: float = DEFAULT_LAUNCH_OVERHEAD_NS,
+                 ) -> float:
+    """CU-driven ring reduce-scatter time (baseline, Figure 10a).
+
+    Per steady step each GPU reads 2 chunk copies, reduces on ``n_cus``
+    CUs, and streams the result to its neighbour; the final incoming chunk
+    is reduced and written locally.
+    """
+    n = system.n_gpus
+    chunk = _step_bytes(nbytes_total, n)
+    link = chunk / system.link.bandwidth
+    mem = 3.0 * chunk / system.memory.effective_bandwidth
+    cu = 3.0 * chunk / system.compute.reduce_bandwidth(n_cus)
+    step = max(link, mem, cu)
+    final_reduce = max(
+        3.0 * chunk / system.memory.effective_bandwidth,
+        3.0 * chunk / system.compute.reduce_bandwidth(n_cus),
+    )
+    return (
+        launch_overhead_ns
+        + (n - 1) * step
+        + system.link.latency_ns
+        + final_reduce
+    )
+
+
+def rs_with_nmc_time(nbytes_total: int, system: SystemConfig,
+                     launch_overhead_ns: float = DEFAULT_LAUNCH_OVERHEAD_NS,
+                     ) -> float:
+    """Ring-RS when reductions happen near memory (Ideal-RS+NMC).
+
+    NMC removes the CU reduce stage and the final step's read-reduce-write
+    round trip: arriving updates reduce in DRAM, so only one read per
+    steady step (to forward the chunk) remains.
+    """
+    n = system.n_gpus
+    chunk = _step_bytes(nbytes_total, n)
+    link = chunk / system.link.bandwidth
+    # one read to forward + one NMC update (at CCDWL) of the incoming copy.
+    mem = (
+        chunk / system.memory.effective_bandwidth
+        + chunk * system.memory.nmc_ccdwl_factor / system.memory.effective_bandwidth
+    )
+    step = max(link, mem)
+    return launch_overhead_ns + (n - 1) * step + system.link.latency_ns
+
+
+def ring_ag_time(nbytes_total: int, system: SystemConfig,
+                 launch_overhead_ns: float = DEFAULT_LAUNCH_OVERHEAD_NS,
+                 ) -> float:
+    """Ring all-gather: N-1 forwarding steps, no reduction."""
+    n = system.n_gpus
+    chunk = _step_bytes(nbytes_total, n)
+    link = chunk / system.link.bandwidth
+    mem = 2.0 * chunk / system.memory.effective_bandwidth  # read + write per step
+    step = max(link, mem)
+    return launch_overhead_ns + (n - 1) * step + system.link.latency_ns
+
+
+def ring_ar_time(nbytes_total: int, system: SystemConfig,
+                 n_cus: Optional[int] = None,
+                 launch_overhead_ns: float = DEFAULT_LAUNCH_OVERHEAD_NS,
+                 ) -> float:
+    """Ring all-reduce = ring-RS followed by ring-AG (Section 2.3)."""
+    return (
+        ring_rs_time(nbytes_total, system, n_cus=n_cus,
+                     launch_overhead_ns=launch_overhead_ns)
+        + ring_ag_time(nbytes_total, system,
+                       launch_overhead_ns=launch_overhead_ns)
+    )
+
+
+def rs_wire_bytes_per_gpu(nbytes_total: int, n_gpus: int) -> float:
+    """Bytes each GPU puts on the wire during a ring-RS."""
+    return _step_bytes(nbytes_total, n_gpus) * (n_gpus - 1)
+
+
+def collective_time(op: CollectiveOp, nbytes_total: int,
+                    system: SystemConfig, **kwargs) -> float:
+    """Dispatch helper for the analytic models."""
+    if op is CollectiveOp.REDUCE_SCATTER:
+        return ring_rs_time(nbytes_total, system, **kwargs)
+    if op is CollectiveOp.ALL_GATHER:
+        return ring_ag_time(nbytes_total, system, **kwargs)
+    if op is CollectiveOp.ALL_REDUCE:
+        return ring_ar_time(nbytes_total, system, **kwargs)
+    if op is CollectiveOp.ALL_TO_ALL:
+        # each GPU exchanges (N-1)/N of its payload pairwise; on a ring the
+        # bisection limits it like an all-gather of the same volume.
+        return ring_ag_time(nbytes_total, system, **kwargs)
+    raise ValueError(f"unsupported collective {op}")

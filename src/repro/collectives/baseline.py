@@ -1,0 +1,234 @@
+"""Baseline CU-driven collective kernels (what T3 replaces).
+
+These model today's GPU collectives (Figure 10a): GPU compute units read
+operand copies from DRAM, reduce them, and stream results over the ring —
+competing with any concurrent kernel for CUs and memory bandwidth.
+
+The run is co-simulated across every GPU of the topology.  Synchronization
+is by data arrival: step ``s`` on a rank cannot start until the chunk sent
+to it at step ``s-1`` has fully landed in its DRAM.  Within a step, reads,
+CU reduction, link serialization and remote writes are pipelined at the
+simulation quantum, so each step's duration converges to its bottleneck
+(link, DRAM or CU throughput) — the property the Figure 6 CU-sharing study
+depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.collectives.schedule import (
+    chunk_sizes,
+    ring_ag_schedule,
+    ring_rs_schedule,
+)
+from repro.interconnect.topology import RingTopology
+from repro.memory.request import AccessKind, Stream
+from repro.sim.engine import BaseEvent, Process
+from repro.sim.primitives import Resource
+
+
+@dataclass
+class CollectiveResult:
+    """Timing of one co-simulated collective."""
+
+    start: float = 0.0
+    end: float = 0.0
+    per_rank_end: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class _RingCollectiveBase:
+    """Shared machinery for baseline ring collectives."""
+
+    label = "collective"
+
+    def __init__(self, topology: RingTopology, nbytes_total: int,
+                 n_cus: Optional[int] = None,
+                 launch_overhead_ns: float = 2_000.0):
+        self.topo = topology
+        self.env = topology.env
+        self.system = topology.system
+        self.nbytes_total = nbytes_total
+        self.n_cus = n_cus
+        self.launch_overhead_ns = launch_overhead_ns
+        n = topology.n_gpus
+        self.chunks = chunk_sizes(nbytes_total, n)
+        #: incoming[rank][step] fires when the chunk sent to ``rank`` at
+        #: ``step`` has fully landed in its DRAM.
+        self._incoming: List[Dict[int, BaseEvent]] = [
+            {s: BaseEvent(self.env) for s in range(1, n)} for _ in range(n)
+        ]
+        self.result = CollectiveResult()
+
+    # -- per-quantum pipeline -------------------------------------------------
+
+    def _quanta(self, nbytes: int) -> List[int]:
+        quantum = self.system.fidelity.quantum_bytes
+        full, rem = divmod(nbytes, quantum)
+        sizes = [quantum] * full
+        if rem:
+            sizes.append(rem)
+        return sizes
+
+    def _quantum_proc(self, rank: int, dst_rank: int, nbytes: int,
+                      read_bytes: int, cu_bytes: int,
+                      reduce_unit: Resource, cu_bw: float,
+                      chunk_id: Optional[int] = None):
+        gpu = self.topo.gpus[rank]
+        if read_bytes:
+            reads = gpu.mc.submit_bulk(
+                AccessKind.READ, Stream.COMPUTE, read_bytes, self.label)
+            if reads:
+                yield self.env.all_of(reads)
+        if cu_bytes:
+            yield from reduce_unit.acquire(hold=cu_bytes / cu_bw)
+        yield gpu.link_to(self.topo.gpus[dst_rank].gpu_id).transfer(nbytes)
+        # Arriving writes are tagged with the chunk they deliver, so a T3
+        # Tracker at the receiver can gate consumers on chunk arrival
+        # (Section 7.2).
+        writes = self.topo.gpus[dst_rank].mc.submit_bulk(
+            AccessKind.WRITE, Stream.COMM, nbytes, self.label,
+            wg_id=chunk_id, chunk_id=chunk_id)
+        if writes:
+            yield self.env.all_of(writes)
+
+    def _send_chunk(self, rank: int, step: int, chunk_bytes: int,
+                    read_factor: int, cu_factor: int,
+                    reduce_unit: Resource, cu_bw: float,
+                    chunk_id: Optional[int] = None):
+        """Pipeline one chunk to the downstream neighbour; returns when it
+        has fully landed there, then fires the receiver's incoming event."""
+        dst_rank = self.topo.next_gpu(rank)
+        procs: List[Process] = []
+        for q in self._quanta(chunk_bytes):
+            procs.append(self.env.process(
+                self._quantum_proc(
+                    rank, dst_rank, q, read_factor * q, cu_factor * q,
+                    reduce_unit, cu_bw, chunk_id=chunk_id),
+                name=f"{self.label}.r{rank}.s{step}.q",
+            ))
+        yield self.env.all_of(procs)
+        self._incoming[dst_rank][step].succeed()
+
+    # -- orchestration -----------------------------------------------------------
+
+    def _rank_proc(self, rank: int):
+        raise NotImplementedError
+
+    def launch(self) -> List[Process]:
+        self.result.start = self.env.now
+        return [
+            self.env.process(self._rank_proc(rank),
+                             name=f"{self.label}.rank{rank}")
+            for rank in range(self.topo.n_gpus)
+        ]
+
+    def run(self) -> CollectiveResult:
+        """Launch on all ranks and simulate to completion."""
+        procs = self.launch()
+        done = self.env.all_of(procs)
+        self.env.run()
+        if not done.fired:
+            raise RuntimeError(
+                f"{self.label} deadlocked: some rank never finished")
+        self.result.end = self.env.now
+        return self.result
+
+    def _cu_bandwidth(self) -> float:
+        return self.system.compute.reduce_bandwidth(self.n_cus)
+
+
+class RingReduceScatter(_RingCollectiveBase):
+    """Baseline ring reduce-scatter (Figures 3 and 10a)."""
+
+    label = "rs"
+
+    def _rank_proc(self, rank: int):
+        env = self.env
+        gpu = self.topo.gpus[rank]
+        n = self.topo.n_gpus
+        yield env.timeout(self.launch_overhead_ns)
+        reduce_unit = Resource(env, 1, name=f"rs.cu.{rank}")
+        cu_bw = self._cu_bandwidth()
+
+        for ring_step in ring_rs_schedule(n, rank):
+            if ring_step.step >= 2:
+                # Need the partial received in the previous step.
+                yield self._incoming[rank][ring_step.step - 1]
+            chunk_bytes = self.chunks[ring_step.send_chunk]
+            # Step 1 reads only the fresh local copy; steady steps read the
+            # local copy plus the received partial (2 copies, Figure 10a).
+            read_factor = 1 if ring_step.step == 1 else 2
+            yield from self._send_chunk(
+                rank, ring_step.step, chunk_bytes,
+                read_factor=read_factor, cu_factor=read_factor + 1,
+                reduce_unit=reduce_unit, cu_bw=cu_bw)
+
+        # Final local reduction of this rank's own chunk.
+        yield self._incoming[rank][n - 1]
+        own = self.chunks[rank]
+        reads = gpu.mc.submit_bulk(
+            AccessKind.READ, Stream.COMPUTE, 2 * own, self.label)
+        yield env.all_of(reads)
+        yield from reduce_unit.acquire(hold=3 * own / cu_bw)
+        writes = gpu.mc.submit_bulk(
+            AccessKind.WRITE, Stream.COMPUTE, own, self.label)
+        yield env.all_of(writes)
+        self.result.per_rank_end[rank] = env.now
+
+
+class RingAllGather(_RingCollectiveBase):
+    """Baseline ring all-gather: pure forwarding, no reduction."""
+
+    label = "ag"
+
+    def _rank_proc(self, rank: int):
+        env = self.env
+        n = self.topo.n_gpus
+        yield env.timeout(self.launch_overhead_ns)
+        copy_unit = Resource(env, 1, name=f"ag.cu.{rank}")
+        cu_bw = self._cu_bandwidth()
+
+        for ring_step in ring_ag_schedule(n, rank):
+            if ring_step.step >= 2:
+                yield self._incoming[rank][ring_step.step - 1]
+            chunk_bytes = self.chunks[ring_step.send_chunk]
+            yield from self._send_chunk(
+                rank, ring_step.step, chunk_bytes,
+                read_factor=1, cu_factor=2,
+                reduce_unit=copy_unit, cu_bw=cu_bw,
+                chunk_id=ring_step.send_chunk)
+        self.result.per_rank_end[rank] = env.now
+
+
+class RingAllReduce:
+    """Baseline all-reduce = ring-RS followed by ring-AG (Section 2.3)."""
+
+    label = "ar"
+
+    def __init__(self, topology: RingTopology, nbytes_total: int,
+                 n_cus: Optional[int] = None,
+                 launch_overhead_ns: float = 2_000.0):
+        self.topo = topology
+        self.nbytes_total = nbytes_total
+        self.n_cus = n_cus
+        self.launch_overhead_ns = launch_overhead_ns
+        self.rs_result: Optional[CollectiveResult] = None
+        self.ag_result: Optional[CollectiveResult] = None
+
+    def run(self) -> CollectiveResult:
+        start = self.topo.env.now
+        rs = RingReduceScatter(
+            self.topo, self.nbytes_total, n_cus=self.n_cus,
+            launch_overhead_ns=self.launch_overhead_ns)
+        self.rs_result = rs.run()
+        ag = RingAllGather(
+            self.topo, self.nbytes_total, n_cus=self.n_cus,
+            launch_overhead_ns=self.launch_overhead_ns)
+        self.ag_result = ag.run()
+        return CollectiveResult(start=start, end=self.topo.env.now)

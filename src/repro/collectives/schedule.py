@@ -1,0 +1,93 @@
+"""Chunk schedules for ring and direct collectives.
+
+Chunks are labelled by their **final owner**: chunk ``e`` of a
+reduce-scatter ends fully reduced on device ``e``.  With the paper's ring
+orientation (device ``d`` sends to ``(d-1) mod N``, Figure 7):
+
+* at step ``s`` (1-based), device ``d`` **sends** its partial of chunk
+  ``(d+s) mod N`` and **receives** the partial of chunk ``(d+s+1) mod N``;
+* after step ``N-1`` the received chunk is ``d``'s own — the final, local
+  reduction.
+
+The same labelling gives the staggered GEMM production order
+(:meth:`repro.gpu.wavefront.TileGrid.chunk_order`): device ``d`` must
+produce chunk ``(d+s) mod N`` before step ``s``, i.e. chunks
+``d+1, d+2, ..., d`` in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.gpu.wavefront import split_evenly
+
+
+@dataclass(frozen=True)
+class RingStep:
+    """One communication step on one rank."""
+
+    step: int          # 1-based
+    send_chunk: int    # chunk id being sent (partial or reduced)
+    recv_chunk: int    # chunk id arriving this step
+
+
+def ring_rs_schedule(n_gpus: int, rank: int) -> List[RingStep]:
+    """Reduce-scatter steps for ``rank`` (N-1 steps)."""
+    _validate(n_gpus, rank)
+    return [
+        RingStep(
+            step=s,
+            send_chunk=(rank + s) % n_gpus,
+            recv_chunk=(rank + s + 1) % n_gpus,
+        )
+        for s in range(1, n_gpus)
+    ]
+
+
+def ring_ag_schedule(n_gpus: int, rank: int) -> List[RingStep]:
+    """All-gather steps for ``rank``: forward the newest chunk each step."""
+    _validate(n_gpus, rank)
+    return [
+        RingStep(
+            step=s,
+            send_chunk=(rank + s - 1) % n_gpus,
+            recv_chunk=(rank + s) % n_gpus,
+        )
+        for s in range(1, n_gpus)
+    ]
+
+
+def all_to_all_schedule(n_gpus: int, rank: int) -> List[Tuple[int, int]]:
+    """(peer, chunk) pairs: rank sends chunk ``peer`` to each peer."""
+    _validate(n_gpus, rank)
+    return [
+        (peer, peer) for peer in range(n_gpus) if peer != rank
+    ]
+
+
+def direct_rs_peers(n_gpus: int, rank: int) -> List[Tuple[int, int]]:
+    """Direct-RS on a fully-connected topology (Section 7.1): every GEMM
+    stage's output is sliced and each slice ``remote_map``-ed straight to
+    its final owner.  Returns (destination, chunk) pairs."""
+    _validate(n_gpus, rank)
+    return [
+        (dest, dest) for dest in range(n_gpus) if dest != rank
+    ]
+
+
+def chunk_sizes(nbytes_total: int, n_gpus: int) -> List[int]:
+    """Chunk byte counts (balanced, summing exactly to the payload)."""
+    if nbytes_total < n_gpus:
+        raise ValueError(
+            f"payload of {nbytes_total} bytes cannot be chunked "
+            f"{n_gpus} ways"
+        )
+    return split_evenly(nbytes_total, n_gpus)
+
+
+def _validate(n_gpus: int, rank: int) -> None:
+    if n_gpus < 2:
+        raise ValueError("ring collectives need at least 2 devices")
+    if not 0 <= rank < n_gpus:
+        raise ValueError(f"rank {rank} out of range for {n_gpus} devices")

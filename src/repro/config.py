@@ -1,0 +1,218 @@
+"""System configuration — the Python rendering of the paper's Table 1.
+
+All defaults reproduce the simulated system of the paper:
+
+* 8/16 GPUs on a ring, 150 GB/s per-direction link bandwidth, 500 ns link
+  latency;
+* 80 CUs @ 1.4 GHz per GPU, 16 MiB LLC;
+* HBM2 @ 1 TB/s with near-memory-compute (NMC) op-and-store whose
+  column-to-column delay is doubled (CCDWL = 2 x CCDL).
+
+Everything an experiment can vary is a field on one of these frozen
+dataclasses; experiments construct variants with ``dataclasses.replace``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class ComputeConfig:
+    """Per-GPU compute resources (Table 1, "Per-GPU Config")."""
+
+    n_cus: int = 80
+    clock_ghz: float = 1.4
+    threads_per_cu: int = 2048
+    #: peak matrix FLOPs (FP16 FMA counted as 2 FLOPs) per CU per cycle.
+    flops_per_cu_per_cycle: float = 1024.0
+    #: fraction of peak a well-tuned BLAS GEMM sustains.
+    gemm_efficiency: float = 0.85
+    #: element-wise reduction throughput a single CU sustains (bytes moved
+    #: per cycle, reads + writes).  Calibrated so a ring-RS restricted to
+    #: 8 CUs slows ~1.4x versus all 80 CUs (the paper's Figure 6 study).
+    reduce_bytes_per_cu_per_cycle: float = 14.0
+
+    @property
+    def peak_flops_per_ns(self) -> float:
+        """Peak FP16 throughput in FLOP/ns (== TFLOP/s / 1000 * 1000)."""
+        return self.n_cus * self.flops_per_cu_per_cycle * self.clock_ghz
+
+    @property
+    def sustained_gemm_flops_per_ns(self) -> float:
+        return self.peak_flops_per_ns * self.gemm_efficiency
+
+    def reduce_bandwidth(self, n_cus: Optional[int] = None) -> float:
+        """Sustained element-wise reduce bandwidth (bytes/ns) on ``n_cus``."""
+        cus = self.n_cus if n_cus is None else n_cus
+        return cus * self.reduce_bytes_per_cu_per_cycle * self.clock_ghz
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """LLC + HBM parameters (Table 1)."""
+
+    llc_bytes: int = 16 * units.MiB
+    llc_banks: int = 64
+    hbm_bandwidth: float = units.tbps(1.0)  # bytes/ns
+    #: number of *simulated* memory channels.  The paper's HBM2 has more
+    #: physical channels; we aggregate them (DESIGN.md section 2) — what
+    #: matters for T3 is per-queue arbitration dynamics, not channel count.
+    n_channels: int = 8
+    dram_queue_depth: int = 32
+    #: fraction of peak pin bandwidth HBM sustains under real access mixes
+    #: (refresh, bank conflicts, read/write turnaround).
+    dram_efficiency: float = 0.65
+    #: CCDWL / CCDL ratio: NMC op-and-store costs twice the column delay.
+    nmc_ccdwl_factor: float = 2.0
+    #: fraction of LLC effectively available to GEMM *inputs* when output
+    #: writes are cached (baseline) vs bypassed to DRAM (T3, Section 6.2).
+    llc_input_fraction_cached_writes: float = 0.5
+    llc_input_fraction_bypassed_writes: float = 1.0
+    #: LLC reuse model (see repro.memory.cache): hit probability for a
+    #: buffer revisited across GEMM stages is (budget / working_set) **
+    #: ``llc_hit_exponent``, and re-reads happen for at most
+    #: ``llc_reuse_window_stages`` subsequent stages (beyond that, kernel
+    #: K-blocking captures the reuse).
+    llc_hit_exponent: float = 1.0
+    llc_reuse_window_stages: int = 8
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustained HBM bandwidth (bytes/ns) under real access mixes."""
+        return self.hbm_bandwidth * self.dram_efficiency
+
+    @property
+    def channel_bandwidth(self) -> float:
+        return self.effective_bandwidth / self.n_channels
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Inter-GPU ring interconnect (Table 1).
+
+    The paper's node supports a "150 GB/s bi-directional" ring; each
+    direction therefore sustains 75 GB/s, which is what a ring collective
+    step is limited by.
+    """
+
+    #: per-direction link bandwidth in bytes/ns.
+    bandwidth: float = units.gbps(75.0)
+    latency_ns: float = 500.0
+
+    @property
+    def bidirectional_bandwidth(self) -> float:
+        return 2.0 * self.bandwidth
+
+
+@dataclass(frozen=True)
+class GEMMKernelConfig:
+    """Parametric tiled-GEMM kernel shape (Section 2.5 / Figure 5).
+
+    Each workgroup (WG) produces one complete ``macro_tile_m x macro_tile_n``
+    output tile; the WG's ``wfs_per_wg`` wavefronts each produce a
+    contiguous ``wf_tile`` slice of it, matching the tiled BLAS kernels the
+    paper evaluates (and assumes for Tracker bookkeeping).
+    """
+
+    macro_tile_m: int = 128
+    macro_tile_n: int = 128
+    wfs_per_wg: int = 4
+    wgs_per_cu: int = 1
+    element_bytes: int = units.FP16_BYTES
+
+    @property
+    def wf_tile_elems(self) -> int:
+        return (self.macro_tile_m * self.macro_tile_n) // self.wfs_per_wg
+
+    def wgs_per_stage(self, n_cus: int) -> int:
+        return n_cus * self.wgs_per_cu
+
+
+@dataclass(frozen=True)
+class TrackerConfig:
+    """T3's track & trigger hardware structure (Section 4.2.1)."""
+
+    n_entries: int = 256
+    ways: int = 8
+    wf_id_bits: int = 3  # max 8 WFs per WG
+    #: Tracker storage reported by the paper.
+    size_bytes: int = 19 * units.KiB
+
+
+@dataclass(frozen=True)
+class MCAConfig:
+    """Communication-aware memory-controller arbitration (Section 4.5)."""
+
+    #: candidate DRAM-queue occupancy thresholds; MCA picks one per kernel
+    #: based on the kernel's observed memory intensity.
+    occupancy_thresholds: Tuple[Optional[int], ...] = (5, 10, 30, None)
+    #: memory-intensity breakpoints (fraction of peak DRAM bandwidth the
+    #: compute kernel demands) mapping to the thresholds above.
+    intensity_breakpoints: Tuple[float, ...] = (0.75, 0.5, 0.25)
+    #: cycles-since-last-communication-issue after which the communication
+    #: stream is force-prioritized to avoid starvation.
+    starvation_limit_ns: float = 2000.0
+
+
+@dataclass(frozen=True)
+class FidelityConfig:
+    """Event-granularity knobs for the discrete-event simulator.
+
+    ``quantum_bytes`` is the size of one simulated memory transaction
+    (Accel-Sim models 32B sectors; we batch to keep Python fast — see
+    DESIGN.md section 2).
+    """
+
+    quantum_bytes: int = 64 * units.KiB
+    #: operand-fetch waves per GEMM stage: real kernels double-buffer at
+    #: K-slab granularity, so reads are due shortly before the compute
+    #: that consumes them.  More waves = tighter coupling = more exposure
+    #: to memory contention (the Figure 17 stall mechanism).
+    gemm_waves_per_stage: int = 16
+    #: record (time, bytes) samples for traffic timelines (Figure 17).
+    record_traffic: bool = False
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete simulated multi-GPU node."""
+
+    n_gpus: int = 8
+    compute: ComputeConfig = field(default_factory=ComputeConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    link: LinkConfig = field(default_factory=LinkConfig)
+    gemm: GEMMKernelConfig = field(default_factory=GEMMKernelConfig)
+    tracker: TrackerConfig = field(default_factory=TrackerConfig)
+    mca: MCAConfig = field(default_factory=MCAConfig)
+    fidelity: FidelityConfig = field(default_factory=FidelityConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 2:
+            raise ValueError("a multi-GPU system needs at least 2 GPUs")
+
+    def replace(self, **kwargs) -> "SystemConfig":
+        """Shallow ``dataclasses.replace`` convenience."""
+        return dataclasses.replace(self, **kwargs)
+
+    def with_fidelity(self, **kwargs) -> "SystemConfig":
+        return self.replace(fidelity=dataclasses.replace(self.fidelity, **kwargs))
+
+    def scaled_compute(self, factor: float) -> "SystemConfig":
+        """The paper's GPU-2X-CU future-hardware study (Section 7.5)."""
+        new_cus = int(round(self.compute.n_cus * factor))
+        return self.replace(
+            compute=dataclasses.replace(self.compute, n_cus=new_cus)
+        )
+
+
+def table1_system(n_gpus: int = 8, **fidelity_kwargs) -> SystemConfig:
+    """The paper's Table 1 system, with optional fidelity overrides."""
+    cfg = SystemConfig(n_gpus=n_gpus)
+    if fidelity_kwargs:
+        cfg = cfg.with_fidelity(**fidelity_kwargs)
+    return cfg

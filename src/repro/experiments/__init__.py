@@ -1,0 +1,23 @@
+"""Experiment runners — one module per paper table / figure.
+
+Every module exposes ``run(fast: bool = True)`` returning a result object
+with a ``render()`` method that prints the same rows/series the paper
+reports.  ``fast=True`` scales workloads down (fewer tokens, coarser
+simulation quantum) for CI; ``fast=False`` runs paper-scale shapes.
+
+See DESIGN.md section 4 for the experiment index.
+"""
+
+from repro.experiments.common import (
+    SublayerSuite,
+    run_sublayer,
+    run_sublayer_suite,
+    sublayer_cases,
+)
+
+__all__ = [
+    "SublayerSuite",
+    "run_sublayer",
+    "run_sublayer_suite",
+    "sublayer_cases",
+]

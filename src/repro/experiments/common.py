@@ -1,0 +1,171 @@
+"""The sub-layer experiment driver shared by Figures 15-18.
+
+For one sliced sub-layer (a GEMM + its all-reduce), run every Section 5.3
+configuration and collect times + DRAM traffic:
+
+* **Sequential** — co-simulate the GEMM on all GPUs, then ring-RS, then
+  ring-AG (each kernel serialized, as on today's GPUs);
+* **T3** — fused GEMM-RS (compute-priority arbitration) + sequential AG;
+* **T3-MCA** — fused GEMM-RS with the MCA policy + sequential AG;
+* **Ideal-GEMM-RS-Overlap** — ``max(GEMM, RS)`` of the *isolated*
+  simulated times + AG (no contention, Section 5.3);
+* **Ideal-RS+NMC** — ``max(GEMM, RS_NMC)`` + AG, where RS_NMC is the
+  closed-form near-memory-compute RS.
+
+The suite is the unit every sub-layer figure reduces over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.traffic import DramBreakdown, collect_breakdown
+from repro.collectives.baseline import RingAllGather, RingReduceScatter
+from repro.collectives.api import rs_with_nmc_time
+from repro.config import SystemConfig
+from repro.gpu.gemm import GEMMKernel
+from repro.gpu.wavefront import GEMMShape, TileGrid
+from repro.interconnect.topology import RingTopology
+from repro.memory.cache import estimate_gemm_traffic
+from repro.models.transformer import SubLayer
+from repro.models import zoo
+from repro.sim import Environment
+from repro.t3.configs import RunConfig, config_by_name
+from repro.t3.fusion import FusedGEMMRS
+
+
+@dataclass
+class SublayerSuite:
+    """All configuration results for one sub-layer."""
+
+    label: str
+    shape: GEMMShape
+    system: SystemConfig
+    #: isolated kernel times (the Figure 15 distribution).
+    gemm_time: float = 0.0
+    rs_time: float = 0.0
+    ag_time: float = 0.0
+    #: config name -> total GEMM+RS+AG time.
+    times: Dict[str, float] = field(default_factory=dict)
+    #: config name -> per-GPU DRAM breakdown.
+    traffic: Dict[str, DramBreakdown] = field(default_factory=dict)
+
+    def speedup(self, config: str) -> float:
+        return self.times["Sequential"] / self.times[config]
+
+    def data_movement_reduction(self, config: str = "T3-MCA") -> float:
+        """Fractional DRAM traffic saved vs Sequential (Figure 18)."""
+        base = self.traffic["Sequential"].total
+        new = self.traffic[config].total
+        return 1.0 - new / base
+
+
+def scaled_shape(shape: GEMMShape, scale: int, min_m: int = 256) -> GEMMShape:
+    """Shrink the token (M) dimension for fast runs; K/N untouched so the
+    compute-vs-communication balance is preserved.  ``min_m`` keeps the
+    output chunkable (ring fusion needs >= one tile row per device)."""
+    if scale <= 1:
+        return shape
+    new_m = max(shape.m // scale, min_m, 256)
+    return dataclasses.replace(shape, m=min(new_m, shape.m))
+
+
+def _fresh_topology(system: SystemConfig, policy: str,
+                    record_traffic: bool = False) -> Tuple[Environment, RingTopology]:
+    env = Environment()
+    if record_traffic:
+        system = system.with_fidelity(record_traffic=True)
+    return env, RingTopology(env, system, policy_name=policy)
+
+
+def _run_sequential(system: SystemConfig, shape: GEMMShape,
+                    record_traffic: bool = False):
+    """GEMM on all GPUs, then ring-RS, then ring-AG; returns parts."""
+    env, topo = _fresh_topology(system, "compute-priority", record_traffic)
+    kernels = []
+    for gpu in topo.gpus:
+        grid = TileGrid(shape, system.gemm, n_cus=system.compute.n_cus)
+        traffic = estimate_gemm_traffic(grid, system.memory,
+                                        bypass_writes=False)
+        kernels.append(GEMMKernel(grid, traffic))
+    procs = [gpu.launch(k) for gpu, k in zip(topo.gpus, kernels)]
+    env.run()
+    if any(not p.fired for p in procs):
+        raise RuntimeError("sequential GEMM never finished")
+    gemm_time = max(k.result.duration for k in kernels)
+
+    rs = RingReduceScatter(topo, nbytes_total=shape.output_bytes)
+    rs_time = rs.run().duration
+    ag = RingAllGather(topo, nbytes_total=shape.output_bytes)
+    ag_time = ag.run().duration
+    return topo, gemm_time, rs_time, ag_time
+
+
+def _run_fused(system: SystemConfig, shape: GEMMShape, config: RunConfig,
+               record_traffic: bool = False):
+    env, topo = _fresh_topology(system, config.mc_policy, record_traffic)
+    fused = FusedGEMMRS(topo, shape,
+                        calibrate_mca=(config.mc_policy == "mca"))
+    fused_result = fused.run()
+    ag = RingAllGather(topo, nbytes_total=shape.output_bytes)
+    ag_time = ag.run().duration
+    total = fused_result.duration + ag_time
+    return topo, fused, total
+
+
+def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
+                       label: str = "",
+                       configs: Optional[List[str]] = None,
+                       record_traffic: bool = False) -> SublayerSuite:
+    """Run every requested configuration on one sub-layer GEMM shape."""
+    wanted = configs or ["Sequential", "T3", "T3-MCA",
+                         "Ideal-GEMM-RS-Overlap", "Ideal-RS+NMC"]
+    suite = SublayerSuite(label=label or shape.name, shape=shape,
+                          system=system)
+
+    topo, gemm_t, rs_t, ag_t = _run_sequential(system, shape, record_traffic)
+    suite.gemm_time, suite.rs_time, suite.ag_time = gemm_t, rs_t, ag_t
+    suite.times["Sequential"] = gemm_t + rs_t + ag_t
+    suite.traffic["Sequential"] = collect_breakdown(topo.gpus)
+
+    for name in ("T3", "T3-MCA"):
+        if name not in wanted:
+            continue
+        topo_f, _fused, total = _run_fused(
+            system, shape, config_by_name(name), record_traffic)
+        suite.times[name] = total
+        suite.traffic[name] = collect_breakdown(topo_f.gpus)
+
+    if "Ideal-GEMM-RS-Overlap" in wanted:
+        suite.times["Ideal-GEMM-RS-Overlap"] = max(gemm_t, rs_t) + ag_t
+        suite.traffic["Ideal-GEMM-RS-Overlap"] = suite.traffic["Sequential"]
+    if "Ideal-RS+NMC" in wanted:
+        nmc_rs = rs_with_nmc_time(shape.output_bytes, system)
+        suite.times["Ideal-RS+NMC"] = max(gemm_t, nmc_rs) + ag_t
+        suite.traffic["Ideal-RS+NMC"] = suite.traffic["Sequential"]
+    return suite
+
+
+def run_sublayer(system: SystemConfig, sublayer: SubLayer,
+                 config: str = "T3-MCA", scale: int = 1) -> SublayerSuite:
+    """Public API entry: run one model sub-layer under one configuration
+    (plus Sequential, which every speedup is measured against)."""
+    shape = scaled_shape(sublayer.gemm, scale)
+    configs = ["Sequential"] if config == "Sequential" else ["Sequential",
+                                                             config]
+    return run_sublayer_suite(system, shape, label=sublayer.label,
+                              configs=configs)
+
+
+def sublayer_cases(tp_degrees: Tuple[int, ...] = (8, 16),
+                   models=None) -> List[SubLayer]:
+    """The Figures 15/16/18 case list: OP/FC-2 (fwd) and FC-1/IP (bwd) of
+    Mega-GPT-2 and T-NLG at TP = 8 and 16."""
+    selected = models if models is not None else zoo.small_models()
+    cases: List[SubLayer] = []
+    for model in selected:
+        for tp in tp_degrees:
+            cases.extend(model.ar_sublayers(tp))
+    return cases

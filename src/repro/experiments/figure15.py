@@ -1,0 +1,68 @@
+"""Figure 15: sub-layer runtime distribution between GEMM, RS and AG.
+
+One stacked bar per (model, sub-layer, TP) case, built from the isolated
+kernel times of the Sequential configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.sublayer_sweep import run_sweep
+
+
+@dataclass(frozen=True)
+class Figure15Row:
+    case: str
+    gemm_us: float
+    rs_us: float
+    ag_us: float
+
+    @property
+    def total_us(self) -> float:
+        return self.gemm_us + self.rs_us + self.ag_us
+
+    @property
+    def gemm_fraction(self) -> float:
+        return self.gemm_us / self.total_us
+
+    @property
+    def rs_fraction(self) -> float:
+        return self.rs_us / self.total_us
+
+    @property
+    def ag_fraction(self) -> float:
+        return self.ag_us / self.total_us
+
+
+@dataclass
+class Figure15Result:
+    rows: List[Figure15Row]
+
+    def render(self) -> str:
+        lines = [
+            "Figure 15 — sub-layer runtime distribution (Sequential)",
+            f"{'case':24} {'GEMM':>10} {'RS':>10} {'AG':>10} "
+            f"{'GEMM%':>7} {'RS%':>6} {'AG%':>6}",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.case:24} {r.gemm_us:>8.0f}us {r.rs_us:>8.0f}us "
+                f"{r.ag_us:>8.0f}us {100 * r.gemm_fraction:>6.1f}% "
+                f"{100 * r.rs_fraction:>5.1f}% {100 * r.ag_fraction:>5.1f}%")
+        return "\n".join(lines)
+
+
+def run(fast: bool = True, large: bool = False) -> Figure15Result:
+    suites = run_sweep(fast=fast, large=large)
+    rows = [
+        Figure15Row(
+            case=s.label,
+            gemm_us=s.gemm_time / 1e3,
+            rs_us=s.rs_time / 1e3,
+            ag_us=s.ag_time / 1e3,
+        )
+        for s in suites
+    ]
+    return Figure15Result(rows)

@@ -1,0 +1,43 @@
+"""Figure 16 (and Section 6.4): sub-layer speedups over Sequential.
+
+T3, T3-MCA, Ideal-GEMM-RS-Overlap and Ideal-RS+NMC on every case of the
+sub-layer grid.  The paper's headline: T3 20% geomean (max 39%), T3-MCA
+30% geomean (max 47%), Ideal-Overlap 35% geomean (max 50%); large models
+29% geomean (max 35%) with T3-MCA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import SpeedupTable
+from repro.experiments.sublayer_sweep import run_sweep
+
+CONFIG_ORDER = ("T3", "T3-MCA", "Ideal-GEMM-RS-Overlap", "Ideal-RS+NMC")
+
+
+@dataclass
+class Figure16Result:
+    table: SpeedupTable
+    large: bool
+
+    def render(self) -> str:
+        title = ("Section 6.4 — large-model sub-layer speedups"
+                 if self.large else
+                 "Figure 16 — sub-layer speedups over Sequential")
+        return self.table.render(title)
+
+    def geomean(self, config: str = "T3-MCA") -> float:
+        return self.table.geomean(config)
+
+    def max(self, config: str = "T3-MCA") -> float:
+        return self.table.max(config)
+
+
+def run(fast: bool = True, large: bool = False) -> Figure16Result:
+    suites = run_sweep(fast=fast, large=large)
+    table = SpeedupTable()
+    for suite in suites:
+        for config in CONFIG_ORDER:
+            table.add(suite.label, config, suite.speedup(config))
+    return Figure16Result(table=table, large=large)

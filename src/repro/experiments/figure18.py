@@ -1,0 +1,100 @@
+"""Figure 18: per-sub-layer DRAM access breakdown, baseline vs T3.
+
+The paper's headline reductions (Section 6.2):
+
+* total data movement: -22% geomean, max -36%;
+* RS reads shrink 2.4x geomean (2.5x TP=8, 2.2x TP=16) — structurally
+  ``(2N-1)/(N-2)`` chunks;
+* GEMM+RS writes shrink ~10% geomean (one chunk in 2N);
+* GEMM reads shrink 1.56x geomean from the LLC write bypass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.traffic import DramBreakdown
+from repro.experiments.sublayer_sweep import run_sweep
+from repro.sim.stats import geomean
+
+
+@dataclass(frozen=True)
+class Figure18Row:
+    case: str
+    baseline: DramBreakdown
+    t3: DramBreakdown
+
+    @property
+    def total_reduction(self) -> float:
+        return 1.0 - self.t3.total / self.baseline.total
+
+    @property
+    def rs_read_ratio(self) -> float:
+        if self.t3.rs_read == 0:
+            return float("inf")
+        return self.baseline.rs_read / self.t3.rs_read
+
+    @property
+    def gemm_read_ratio(self) -> float:
+        return self.baseline.gemm_read / self.t3.gemm_read
+
+    @property
+    def write_ratio(self) -> float:
+        base = self.baseline.gemm_write + self.baseline.rs_write
+        new = self.t3.gemm_write + self.t3.rs_write
+        return base / new
+
+
+@dataclass
+class Figure18Result:
+    rows: List[Figure18Row]
+
+    def render(self) -> str:
+        lines = [
+            "Figure 18 — per-GPU DRAM accesses (MB), Sequential vs T3-MCA",
+            f"{'case':24} {'base total':>11} {'T3 total':>10} "
+            f"{'saved':>7} {'RSrd x':>7} {'GEMMrd x':>9} {'wr x':>6}",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.case:24} {r.baseline.total / 1e6:>9.0f}MB "
+                f"{r.t3.total / 1e6:>8.0f}MB {100 * r.total_reduction:>6.1f}% "
+                f"{r.rs_read_ratio:>7.2f} {r.gemm_read_ratio:>9.2f} "
+                f"{r.write_ratio:>6.2f}")
+        lines.append(
+            f"geomean saved = {100 * (1 - geomean([1 - r.total_reduction for r in self.rows])):.1f}% "
+            f"(paper: 22%, max 36%)")
+        lines.append(
+            f"geomean RS-read ratio = {self.geomean_rs_read_ratio():.2f}x "
+            "(paper: 2.4x)")
+        lines.append(
+            f"geomean GEMM-read ratio = {self.geomean_gemm_read_ratio():.2f}x "
+            "(paper: 1.56x)")
+        return "\n".join(lines)
+
+    def geomean_total_reduction(self) -> float:
+        return 1 - geomean([1 - r.total_reduction for r in self.rows])
+
+    def max_total_reduction(self) -> float:
+        return max(r.total_reduction for r in self.rows)
+
+    def geomean_rs_read_ratio(self) -> float:
+        return geomean([r.rs_read_ratio for r in self.rows])
+
+    def geomean_gemm_read_ratio(self) -> float:
+        return geomean([r.gemm_read_ratio for r in self.rows])
+
+    def geomean_write_ratio(self) -> float:
+        return geomean([r.write_ratio for r in self.rows])
+
+
+def run(fast: bool = True, large: bool = False) -> Figure18Result:
+    suites = run_sweep(fast=fast, large=large)
+    rows = [
+        Figure18Row(case=s.label,
+                    baseline=s.traffic["Sequential"],
+                    t3=s.traffic["T3-MCA"])
+        for s in suites
+    ]
+    return Figure18Result(rows)

@@ -1,0 +1,88 @@
+"""Figure 19: end-to-end model speedups with T3 / T3-MCA.
+
+The paper's methodology (Section 5.1.2): scale the sliced-sub-layer
+portions of the end-to-end iteration breakdown by the simulated sub-layer
+speedups.  Headline: training up to 9% (T3) / 12% (T3-MCA), prompt
+inference up to 12% / 15%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config import table1_system
+from repro.experiments.sublayer_sweep import run_case
+from repro.models import zoo
+from repro.models.endtoend import (
+    Phase,
+    apply_sublayer_speedups,
+    iteration_breakdown,
+)
+
+SUBLAYER_NAMES = ("OP", "FC-2", "FC-1", "IP")
+FWD_SUBLAYERS = ("OP", "FC-2")
+
+
+@dataclass(frozen=True)
+class Figure19Row:
+    model: str
+    tp: int
+    phase: str
+    t3_speedup: float
+    t3_mca_speedup: float
+
+
+@dataclass
+class Figure19Result:
+    rows: List[Figure19Row]
+    #: per (model, tp): sub-layer group speedups fed into the scaling.
+    sublayer_speedups: Dict[str, Dict[str, float]]
+
+    def render(self) -> str:
+        lines = [
+            "Figure 19 — end-to-end model speedups",
+            f"{'model':12} {'tp':>3} {'phase':>9} {'T3':>8} {'T3-MCA':>8}",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.model:12} {r.tp:>3} {r.phase:>9} "
+                f"{r.t3_speedup:>8.3f} {r.t3_mca_speedup:>8.3f}")
+        return "\n".join(lines)
+
+    def max_speedup(self, config: str, phase: str) -> float:
+        if config == "T3":
+            return max(r.t3_speedup for r in self.rows if r.phase == phase)
+        return max(r.t3_mca_speedup for r in self.rows if r.phase == phase)
+
+
+def run(fast: bool = True, large: bool = False) -> Figure19Result:
+    combos = []
+    if large:
+        combos = [(m, 32) for m in zoo.large_models()]
+    else:
+        for model in zoo.small_models():
+            combos.extend([(model, 8), (model, 16)])
+
+    rows: List[Figure19Row] = []
+    all_speedups: Dict[str, Dict[str, float]] = {}
+    for model, tp in combos:
+        system = table1_system(n_gpus=tp)
+        per_group: Dict[str, Dict[str, float]] = {"T3": {}, "T3-MCA": {}}
+        for name in SUBLAYER_NAMES:
+            suite = run_case(model.sublayer(name, tp), fast=fast)
+            per_group["T3"][name] = suite.speedup("T3")
+            per_group["T3-MCA"][name] = suite.speedup("T3-MCA")
+        all_speedups[f"{model.name}/TP{tp}"] = dict(per_group["T3-MCA"])
+
+        for phase in (Phase.TRAINING, Phase.PROMPT):
+            breakdown = iteration_breakdown(model, tp, system, phase)
+            names = SUBLAYER_NAMES if phase is Phase.TRAINING else FWD_SUBLAYERS
+            t3 = apply_sublayer_speedups(
+                breakdown, {n: per_group["T3"][n] for n in names})
+            mca = apply_sublayer_speedups(
+                breakdown, {n: per_group["T3-MCA"][n] for n in names})
+            rows.append(Figure19Row(
+                model=model.name, tp=tp, phase=phase.value,
+                t3_speedup=t3, t3_mca_speedup=mca))
+    return Figure19Result(rows=rows, sublayer_speedups=all_speedups)

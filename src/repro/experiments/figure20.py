@@ -1,0 +1,91 @@
+"""Figure 20: T3 on future hardware with 2x compute (Section 7.5).
+
+Compute FLOPs scale faster than network bandwidth; the paper's GPU-2X-CU
+configuration doubles the CU count with the network unchanged.  For the
+large, compute-dominated FC-2 layers, faster compute shortens the GEMM,
+shifting the compute:communication ratio and *increasing* T3's benefit;
+for small OP layers the exposed communication grows and the benefit
+shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import table1_system
+from repro.experiments.sublayer_sweep import run_case
+from repro.models import zoo
+
+
+@dataclass(frozen=True)
+class Figure20Row:
+    case: str
+    speedup_1x: float       # T3-MCA speedup on the Table 1 GPU
+    speedup_2x: float       # T3-MCA speedup on GPU-2X-CU
+    ideal_1x: float         # contention-free overlap speedup, Table 1 GPU
+    ideal_2x: float         # contention-free overlap speedup, GPU-2X-CU
+
+    @property
+    def delta(self) -> float:
+        return self.speedup_2x - self.speedup_1x
+
+    @property
+    def ideal_delta(self) -> float:
+        return self.ideal_2x - self.ideal_1x
+
+
+@dataclass
+class Figure20Result:
+    rows: List[Figure20Row]
+
+    def render(self) -> str:
+        lines = [
+            "Figure 20 — T3-MCA speedups: Table-1 GPU vs GPU-2X-CU",
+            f"{'case':24} {'1x CUs':>8} {'2x CUs':>8} {'delta':>8} "
+            f"{'ideal1x':>8} {'ideal2x':>8} {'d-ideal':>8}",
+        ]
+        for r in self.rows:
+            lines.append(f"{r.case:24} {r.speedup_1x:>8.3f} "
+                         f"{r.speedup_2x:>8.3f} {r.delta:>+8.3f} "
+                         f"{r.ideal_1x:>8.3f} {r.ideal_2x:>8.3f} "
+                         f"{r.ideal_delta:>+8.3f}")
+        return "\n".join(lines)
+
+    def row(self, substr: str) -> Figure20Row:
+        for r in self.rows:
+            if substr in r.case:
+                return r
+        raise KeyError(substr)
+
+
+def run(fast: bool = True) -> Figure20Result:
+    """Large-model shapes are small enough (2K tokens) to simulate at
+    full size, which matters here: token-scaling would distort the
+    compute:communication balance the figure is about.  Fast mode trims
+    the model list instead."""
+    rows: List[Figure20Row] = []
+    models = [zoo.palm()] if fast else zoo.large_models()
+    tp = 32
+    base_system = table1_system(n_gpus=tp)
+    future_system = base_system.scaled_compute(2.0)
+    configs = ["Sequential", "T3-MCA"]
+    for model in models:
+        for name in ("OP", "FC-2"):
+            sub = model.sublayer(name, tp)
+            base = run_case(sub, fast=False, system=base_system,
+                            configs=configs)
+            future = run_case(sub, fast=False, system=future_system,
+                              configs=configs)
+            def ideal(suite):
+                overlapped = max(suite.gemm_time, suite.rs_time) + suite.ag_time
+                return suite.times["Sequential"] / overlapped
+
+            rows.append(Figure20Row(
+                case=sub.label,
+                speedup_1x=base.speedup("T3-MCA"),
+                speedup_2x=future.speedup("T3-MCA"),
+                ideal_1x=ideal(base),
+                ideal_2x=ideal(future),
+            ))
+    return Figure20Result(rows)

@@ -1,0 +1,74 @@
+"""Figure 4: fraction of iteration time in "Sliced GEMM -> AR" vs rest.
+
+For every model/TP/phase the paper stacks the time spent in the sliced
+sub-layers (their GEMMs plus the reduce-scatter and all-gather halves of
+the all-reduce) against everything else.  This runner reduces the
+end-to-end operator model the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import table1_system
+from repro.models import zoo
+from repro.models.endtoend import Phase, iteration_breakdown
+
+
+@dataclass(frozen=True)
+class Figure4Row:
+    model: str
+    tp: int
+    phase: str
+    sliced_fraction: float      # "Sliced GEMM -> AR" share
+    rs_fraction: float
+    ag_fraction: float
+    comm_fraction: float
+    total_ms: float
+
+
+@dataclass
+class Figure4Result:
+    rows: List[Figure4Row]
+
+    def render(self) -> str:
+        lines = [
+            "Figure 4 — time in sliced-GEMM->AR vs rest (per iteration)",
+            f"{'model':12} {'tp':>3} {'phase':>9} {'sliced%':>8} "
+            f"{'RS%':>6} {'AG%':>6} {'comm%':>7} {'total':>10}",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.model:12} {r.tp:>3} {r.phase:>9} "
+                f"{100 * r.sliced_fraction:>7.1f}% "
+                f"{100 * r.rs_fraction:>5.1f}% {100 * r.ag_fraction:>5.1f}% "
+                f"{100 * r.comm_fraction:>6.1f}% {r.total_ms:>8.1f}ms"
+            )
+        return "\n".join(lines)
+
+    def max_comm_fraction(self, model: str) -> float:
+        return max(r.comm_fraction for r in self.rows if r.model == model)
+
+
+def run(fast: bool = True) -> Figure4Result:
+    """``fast`` is accepted for interface uniformity; the model is
+    analytic and always cheap."""
+    del fast
+    rows: List[Figure4Row] = []
+    for model in zoo.all_models():
+        for tp in zoo.TP_SETUPS[model.name]:
+            system = table1_system(n_gpus=tp)
+            for phase in (Phase.TRAINING, Phase.PROMPT):
+                breakdown = iteration_breakdown(model, tp, system, phase)
+                by_cat = breakdown.time_by_category()
+                total = breakdown.total_time()
+                rows.append(Figure4Row(
+                    model=model.name, tp=tp, phase=phase.value,
+                    sliced_fraction=breakdown.sliced_fraction(),
+                    rs_fraction=by_cat.get("rs", 0.0) / total,
+                    ag_fraction=by_cat.get("ag", 0.0) / total,
+                    comm_fraction=breakdown.comm_fraction(),
+                    total_ms=total / 1e6,
+                ))
+    return Figure4Result(rows)

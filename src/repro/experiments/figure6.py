@@ -1,0 +1,124 @@
+"""Figure 6: how CU sharing erodes the benefit of software overlap.
+
+The paper runs GEMM and all-reduce *in isolation* with different CU
+splits (72-8, 64-16) and computes the potential-overlap speedup
+``(GEMM_80 + AR_80) / max(GEMM_A, AR_B)`` against an ideal where the GEMM
+keeps all 80 CUs and the AR is free.  We replicate that methodology with
+the event simulator: GEMMs at reduced CU counts, baseline ring collectives
+at reduced CU counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.collectives.baseline import RingAllGather, RingReduceScatter
+from repro.config import SystemConfig, table1_system
+from repro.experiments.common import scaled_shape
+from repro.gpu.gemm import GEMMKernel
+from repro.gpu.wavefront import GEMMShape, TileGrid
+from repro.interconnect.topology import RingTopology
+from repro.memory.cache import estimate_gemm_traffic
+from repro.models import zoo
+from repro.sim import Environment
+from repro.sim.stats import geomean
+
+#: (GEMM CUs, AR CUs) splits studied by the paper.
+CU_SPLITS: Tuple[Tuple[int, int], ...] = ((72, 8), (64, 16))
+
+
+@dataclass(frozen=True)
+class Figure6Row:
+    case: str
+    split: str                  # "72-8", "64-16", "ideal"
+    gemm_slowdown: float        # vs GEMM on all 80 CUs
+    ar_slowdown: float          # vs AR on all 80 CUs
+    potential_speedup: float    # overlap speedup vs sequential
+
+
+@dataclass
+class Figure6Result:
+    rows: List[Figure6Row]
+
+    def render(self) -> str:
+        lines = [
+            "Figure 6 — CU-sharing impact on overlap potential",
+            f"{'case':24} {'split':>7} {'GEMMx':>7} {'ARx':>7} "
+            f"{'overlap speedup':>16}",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.case:24} {r.split:>7} {r.gemm_slowdown:>7.2f} "
+                f"{r.ar_slowdown:>7.2f} {r.potential_speedup:>16.2f}")
+        for split in ("72-8", "64-16", "ideal"):
+            values = [r.potential_speedup for r in self.rows
+                      if r.split == split]
+            lines.append(f"geomean[{split}] = {geomean(values):.2f}x")
+        return "\n".join(lines)
+
+    def geomean_speedup(self, split: str) -> float:
+        return geomean([r.potential_speedup for r in self.rows
+                        if r.split == split])
+
+
+def _isolated_gemm_time(system: SystemConfig, shape: GEMMShape,
+                        n_cus: int) -> float:
+    env = Environment()
+    topo = RingTopology(env, system)
+    grid = TileGrid(shape, system.gemm, n_cus=n_cus)
+    traffic = estimate_gemm_traffic(grid, system.memory, bypass_writes=False)
+    kernel = GEMMKernel(grid, traffic, n_cus=n_cus)
+    proc = topo.gpus[0].launch(kernel)
+    env.run_until_process(proc)
+    return kernel.result.duration
+
+
+def _isolated_ar_time(system: SystemConfig, nbytes: int, n_cus: int) -> float:
+    env = Environment()
+    topo = RingTopology(env, system)
+    rs = RingReduceScatter(topo, nbytes_total=nbytes, n_cus=n_cus).run()
+    ag = RingAllGather(topo, nbytes_total=nbytes, n_cus=n_cus).run()
+    return rs.duration + ag.duration
+
+
+def run(fast: bool = True) -> Figure6Result:
+    system = table1_system(n_gpus=8)
+    if not fast:
+        # Paper-scale shapes: coarsen the transaction quantum (chunks are
+        # tens of MB; see sublayer_sweep.FULL_MODE_QUANTUM).
+        system = system.with_fidelity(quantum_bytes=256 * 1024)
+    scale = 8 if fast else 1
+    rows: List[Figure6Row] = []
+    cases = []
+    for model in zoo.small_models():
+        for sub_name in ("OP", "FC-2"):  # the paper's Attn. / FC-2 pair
+            cases.append(model.sublayer(sub_name, tp=8))
+
+    for sub in cases:
+        shape = scaled_shape(sub.gemm, scale)
+        gemm_full = _isolated_gemm_time(system, shape, n_cus=80)
+        ar_full = _isolated_ar_time(system, shape.output_bytes, n_cus=80)
+        sequential = gemm_full + ar_full
+
+        gemm_times: Dict[int, float] = {80: gemm_full}
+        ar_times: Dict[int, float] = {80: ar_full}
+        for gemm_cus, ar_cus in CU_SPLITS:
+            gemm_times[gemm_cus] = _isolated_gemm_time(system, shape,
+                                                       n_cus=gemm_cus)
+            ar_times[ar_cus] = _isolated_ar_time(system, shape.output_bytes,
+                                                 n_cus=ar_cus)
+            rows.append(Figure6Row(
+                case=sub.label,
+                split=f"{gemm_cus}-{ar_cus}",
+                gemm_slowdown=gemm_times[gemm_cus] / gemm_full,
+                ar_slowdown=ar_times[ar_cus] / ar_full,
+                potential_speedup=sequential / max(gemm_times[gemm_cus],
+                                                   ar_times[ar_cus]),
+            ))
+        rows.append(Figure6Row(
+            case=sub.label, split="ideal",
+            gemm_slowdown=1.0, ar_slowdown=1.0,
+            potential_speedup=sequential / max(gemm_full, ar_full),
+        ))
+    return Figure6Result(rows)

@@ -1,0 +1,84 @@
+"""Quantitative companion to Table 3: T3-MCA vs in-switch reduction.
+
+The paper's closest hardware alternative (Klenk et al., ISCA'20) reduces
+in the network switch, speeding the collective itself by up to 2x — but
+the communication stays *serialized* behind the producer GEMM.  This
+study prices that difference on the paper's sub-layers:
+
+* ``Sequential``      — GEMM, then ring-RS, then ring-AG;
+* ``In-switch``       — GEMM, then a 2x-faster AR (still serialized);
+* ``T3-MCA``          — fused GEMM-RS + sequential AG.
+
+T3 wins whenever the GEMM is long enough to hide the RS — i.e. everywhere
+except extremely communication-skewed layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import table1_system
+from repro.experiments.sublayer_sweep import run_case
+from repro.models import zoo
+from repro.sim.stats import geomean
+
+#: collective speedup the in-switch hardware provides (paper: "up to 2x").
+IN_SWITCH_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class RelatedWorkRow:
+    case: str
+    in_switch_speedup: float
+    t3_mca_speedup: float
+
+
+@dataclass
+class RelatedWorkResult:
+    rows: List[RelatedWorkRow]
+
+    def render(self) -> str:
+        lines = [
+            "Table 3 companion — in-switch (2x collectives, serialized) "
+            "vs T3-MCA",
+            f"{'case':24} {'in-switch':>10} {'T3-MCA':>8} {'winner':>9}",
+        ]
+        for r in self.rows:
+            winner = "T3-MCA" if r.t3_mca_speedup > r.in_switch_speedup \
+                else "in-switch"
+            lines.append(f"{r.case:24} {r.in_switch_speedup:>10.3f} "
+                         f"{r.t3_mca_speedup:>8.3f} {winner:>9}")
+        lines.append(
+            f"geomean: in-switch {self.geomean('in-switch'):.3f} vs "
+            f"T3-MCA {self.geomean('t3'):.3f}")
+        return "\n".join(lines)
+
+    def geomean(self, which: str) -> float:
+        if which == "in-switch":
+            return geomean([r.in_switch_speedup for r in self.rows])
+        return geomean([r.t3_mca_speedup for r in self.rows])
+
+    def t3_win_count(self) -> int:
+        return sum(1 for r in self.rows
+                   if r.t3_mca_speedup > r.in_switch_speedup)
+
+
+def run(fast: bool = True) -> RelatedWorkResult:
+    rows: List[RelatedWorkRow] = []
+    for model in zoo.small_models():
+        for name in ("OP", "FC-2"):
+            sub = model.sublayer(name, 8)
+            suite = run_case(sub, fast=fast,
+                             system=table1_system(n_gpus=8))
+            sequential = suite.times["Sequential"]
+            # In-switch: the AR (RS+AG) runs 2x faster, still serialized.
+            in_switch = (suite.gemm_time
+                         + (suite.rs_time + suite.ag_time)
+                         / IN_SWITCH_FACTOR)
+            rows.append(RelatedWorkRow(
+                case=sub.label,
+                in_switch_speedup=sequential / in_switch,
+                t3_mca_speedup=suite.speedup("T3-MCA"),
+            ))
+    return RelatedWorkResult(rows)

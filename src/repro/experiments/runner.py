@@ -1,0 +1,69 @@
+"""CLI: run any paper experiment and print its rendered output.
+
+Usage::
+
+    python -m repro.experiments.runner figure16
+    python -m repro.experiments.runner figure16 --full
+    python -m repro.experiments.runner all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import (
+    dp_overlap, extensions, figure4, figure6, figure15, figure16, figure17,
+    figure18, figure19, figure20, related_work, tables, validation,
+)
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": tables.run_table1,
+    "table2": tables.run_table2,
+    "table3": tables.run_table3,
+    "figure4": figure4.run,
+    "figure6": figure6.run,
+    "figure14": validation.run,
+    "figure15": figure15.run,
+    "figure16": figure16.run,
+    "figure16-large": lambda fast=True: figure16.run(fast=fast, large=True),
+    "figure17": figure17.run,
+    "figure18": figure18.run,
+    "figure19": figure19.run,
+    "figure20": figure20.run,
+    # Section 7 extension studies (beyond the paper's figures).
+    "generation": extensions.run_generation,
+    "precision": extensions.run_precision,
+    "following-ops": extensions.run_following_ops,
+    "consumer-fusion": extensions.run_consumer_fusion,
+    "in-switch": related_work.run,
+    "dp-overlap": dp_overlap.run,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="T3 reproduction experiment runner")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale shapes (slower); default is a "
+                             "token-scaled fast mode with identical "
+                             "compute:communication balance")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](fast=not args.full)
+        print(result.render())
+        print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

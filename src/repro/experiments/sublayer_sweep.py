@@ -1,0 +1,89 @@
+"""Shared sub-layer sweep backing Figures 15, 16, 18 and 19.
+
+Runs the Section 5.3 configuration suite over a case list (by default the
+paper's eight small-model cases: Mega-GPT-2 and T-NLG, TP 8 and 16, four
+sub-layers each).  Results are cached per (case, system, scale) within a
+process so the figure modules can share one sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SystemConfig, table1_system
+from repro.experiments.common import (
+    SublayerSuite,
+    run_sublayer_suite,
+    scaled_shape,
+)
+from repro.models import zoo
+from repro.models.transformer import SubLayer
+
+_CACHE: Dict[Tuple, SublayerSuite] = {}
+
+#: fast-mode token scaling (shrinks M; K/N/balance preserved).
+FAST_SCALE = 8
+
+
+def default_cases(large: bool = False) -> List[SubLayer]:
+    """The paper's case grids: small models x TP {8,16}, or the
+    Section 6.4 large models at TP=32."""
+    cases: List[SubLayer] = []
+    if large:
+        for model in zoo.large_models():
+            cases.extend(model.ar_sublayers(32))
+    else:
+        for model in zoo.small_models():
+            for tp in (8, 16):
+                cases.extend(model.ar_sublayers(tp))
+    return cases
+
+
+#: full-scale runs use a coarser memory-transaction quantum: paper-scale
+#: chunks are tens of MB, so 256 KiB transactions keep hundreds of
+#: requests per chunk while making full sweeps tractable.
+FULL_MODE_QUANTUM = 256 * 1024
+
+
+def run_case(sub: SubLayer, fast: bool = True,
+             system: Optional[SystemConfig] = None,
+             configs: Optional[List[str]] = None,
+             use_cache: bool = True) -> SublayerSuite:
+    base_system = system or table1_system(n_gpus=sub.tp)
+    if base_system.n_gpus != sub.tp:
+        raise ValueError(
+            f"case {sub.label} needs an n_gpus={sub.tp} system")
+    if not fast:
+        base_system = base_system.with_fidelity(
+            quantum_bytes=max(base_system.fidelity.quantum_bytes,
+                              FULL_MODE_QUANTUM))
+    scale = FAST_SCALE if fast else 1
+    key = (sub.label, scale, base_system, tuple(configs or ()))
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    # Keep the scaled output chunkable: need >= tp workgroup tiles.
+    tiles_n = max(1, sub.gemm.n // base_system.gemm.macro_tile_n)
+    rows_needed = -(-sub.tp // tiles_n)  # ceil
+    min_m = rows_needed * base_system.gemm.macro_tile_m
+    shape = scaled_shape(sub.gemm, scale, min_m=min_m)
+    suite = run_sublayer_suite(base_system, shape, label=sub.label,
+                               configs=configs)
+    if use_cache:
+        _CACHE[key] = suite
+    return suite
+
+
+def run_sweep(fast: bool = True, large: bool = False,
+              cases: Optional[Sequence[SubLayer]] = None,
+              system_for_tp=None) -> List[SublayerSuite]:
+    """Run all cases; returns one suite per case, in case order."""
+    selected = list(cases) if cases is not None else default_cases(large)
+    suites: List[SublayerSuite] = []
+    for sub in selected:
+        system = system_for_tp(sub.tp) if system_for_tp else None
+        suites.append(run_case(sub, fast=fast, system=system))
+    return suites
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

@@ -1,0 +1,124 @@
+"""Tables 1-3: configuration, model zoo, and prior-work comparison.
+
+Table 1 and 2 render the machine / model configurations used everywhere
+else (so a reader can diff them against the paper directly); Table 3 is
+the qualitative feature matrix contrasting T3-MCA with prior approaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro import units
+from repro.config import SystemConfig, table1_system
+from repro.models import zoo
+
+
+@dataclass
+class Table1Result:
+    system: SystemConfig
+
+    def render(self) -> str:
+        s = self.system
+        rows = [
+            ("#GPUs", f"{s.n_gpus} (8/16 studied)"),
+            ("Inter-GPU interconnect",
+             f"ring, {s.link.bidirectional_bandwidth:.0f} GB/s "
+             f"bi-directional, {s.link.latency_ns:.0f} ns link latency"),
+            ("#CUs", f"{s.compute.n_cus} @ {s.compute.clock_ghz} GHz"),
+            ("Per-CU threads", f"{s.compute.threads_per_cu}"),
+            ("LLC", f"{s.memory.llc_bytes // units.MiB} MiB, "
+                    f"{s.memory.llc_banks} banks"),
+            ("HBM", f"{s.memory.hbm_bandwidth / 1000:.0f} TB/s peak, "
+                    f"CCDWL = {s.memory.nmc_ccdwl_factor:.0f}x CCDL "
+                    "for NMC op-and-store"),
+            ("Tracker", f"{s.tracker.n_entries} entries, "
+                        f"{s.tracker.ways}-way, "
+                        f"{s.tracker.size_bytes // units.KiB} KB"),
+            ("MCA thresholds",
+             f"{s.mca.occupancy_thresholds} by memory intensity"),
+        ]
+        width = max(len(k) for k, _ in rows) + 2
+        lines = ["Table 1 — simulated system"]
+        lines += [f"{k.ljust(width)}{v}" for k, v in rows]
+        return "\n".join(lines)
+
+
+@dataclass
+class Table2Result:
+    rows: List[Tuple[str, int, int, int, int, Tuple[int, ...]]]
+
+    def render(self) -> str:
+        lines = [
+            "Table 2 — studied models",
+            f"{'model':12} {'H':>6} {'L':>4} {'SL':>5} {'B':>3} "
+            f"{'params':>8} {'TP':>8}",
+        ]
+        for name, h, layers, sl, b, tps in self.rows:
+            params = zoo.by_name(name).n_parameters
+            lines.append(
+                f"{name:12} {h:>6} {layers:>4} {sl:>5} {b:>3} "
+                f"{params / 1e9:>7.0f}B {str(list(tps)):>8}")
+        return "\n".join(lines)
+
+
+#: Table 3 — approach -> feature booleans, transcribed from the paper:
+#: (GPU support, transparent, overlap, reduce contention,
+#:  no extra accelerator, topology independent)
+TABLE3_FEATURES: Dict[str, Tuple[bool, bool, bool, bool, bool, bool]] = {
+    "In-switch": (True, True, False, False, False, False),
+    "ACE": (True, True, False, True, False, False),
+    "CoCoNet": (True, False, True, False, True, True),
+    "Google Decomposition": (True, False, True, False, True, True),
+    "T3-MCA": (True, True, True, True, True, True),
+}
+
+TABLE3_COLUMNS = (
+    "GPU support",
+    "Transparent",
+    "Comm. overlap",
+    "Reduce contention",
+    "No extra accelerator",
+    "Topology independent",
+)
+
+
+@dataclass
+class Table3Result:
+    features: Dict[str, Tuple[bool, ...]]
+
+    def render(self) -> str:
+        lines = ["Table 3 — comparison with prior work"]
+        header = f"{'approach':22}" + "".join(
+            f"{c[:12]:>14}" for c in TABLE3_COLUMNS)
+        lines.append(header)
+        for approach, flags in self.features.items():
+            lines.append(f"{approach:22}" + "".join(
+                f"{'yes' if f else 'X':>14}" for f in flags))
+        return "\n".join(lines)
+
+    def dominates(self, approach: str = "T3-MCA") -> bool:
+        """T3-MCA must have every feature the others lack at least once."""
+        ours = self.features[approach]
+        return all(ours)
+
+
+def run_table1(fast: bool = True) -> Table1Result:
+    del fast
+    return Table1Result(system=table1_system(n_gpus=8))
+
+
+def run_table2(fast: bool = True) -> Table2Result:
+    del fast
+    rows = []
+    for model in zoo.all_models():
+        rows.append((model.name, model.hidden, model.n_layers,
+                     model.seq_len, model.batch,
+                     zoo.TP_SETUPS[model.name]))
+    return Table2Result(rows)
+
+
+def run_table3(fast: bool = True) -> Table3Result:
+    del fast
+    return Table3Result(dict(TABLE3_FEATURES))

@@ -1,0 +1,30 @@
+"""GPU compute model: CUs, workgroups/wavefronts, tiled GEMM, DMA.
+
+The model follows the paper's execution abstraction (Section 2.5):
+a tiled GEMM executes as *stages* of workgroups, each workgroup's
+wavefronts producing complete output tiles; sliced (tensor-parallel)
+GEMMs shrink the dot-product (K) dimension but keep the same output
+tiling, WG count, and stage structure (Figure 5).
+"""
+
+from repro.gpu.wavefront import GEMMShape, StageInfo, TileGrid, WavefrontTile
+from repro.gpu.gemm import GEMMKernel, GEMMResult, LocalWriteSink, StoreSink
+from repro.gpu.dma import DMACommand, DMAEngine
+from repro.gpu.gpu import GPU
+from repro.gpu.scheduler import build_staggered_grids, production_schedule
+
+__all__ = [
+    "DMACommand",
+    "DMAEngine",
+    "GEMMKernel",
+    "GEMMResult",
+    "GEMMShape",
+    "GPU",
+    "LocalWriteSink",
+    "StageInfo",
+    "StoreSink",
+    "TileGrid",
+    "WavefrontTile",
+    "build_staggered_grids",
+    "production_schedule",
+]

@@ -1,0 +1,157 @@
+"""DMA engine with pre-programmed command table (Section 4.2.2).
+
+The GPU driver programs :class:`DMACommand` entries ahead of time (during
+the address-space configuration of Figure 12); at runtime the T3 Tracker
+marks an entry *ready* and the engine executes it without any CU
+involvement:
+
+1. read the source region from local DRAM on the **communication** stream
+   (skipped for pure forwarding collectives such as all-gather reusing a
+   just-received buffer),
+2. serialize it onto the inter-GPU link,
+3. issue the arriving bytes at the destination GPU as writes or NMC
+   updates, tagged with the (wg, wf) metadata the destination's Tracker
+   needs.
+
+Transfers are pipelined at workgroup-tile granularity so link serialization
+overlaps the local reads and remote writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.memory.request import AccessKind, Stream
+from repro.sim.engine import BaseEvent, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.gpu import GPU
+
+
+@dataclass
+class DMACommand:
+    """One pre-programmed transfer: a chunk (or chunk slice) to a peer."""
+
+    command_id: str
+    dst_gpu_id: int
+    chunk_id: int
+    #: (wg_id, nbytes) slices; wg ids let the destination Tracker attribute
+    #: the arriving updates (Section 4.2.2).
+    wg_slices: Tuple[Tuple[int, int], ...]
+    #: how arriving bytes apply at the destination: WRITE (store) or
+    #: UPDATE (NMC op-and-store) — the "DMA functionality" of dma_map.
+    op: AccessKind = AccessKind.UPDATE
+    label: str = "rs"
+    #: whether the engine must read the source data from local DRAM first.
+    read_source: bool = True
+
+    def __post_init__(self) -> None:
+        if self.op not in (AccessKind.WRITE, AccessKind.UPDATE):
+            raise ValueError("DMA op must be WRITE or UPDATE")
+        if not self.wg_slices:
+            raise ValueError("DMA command must move at least one slice")
+        if any(nbytes <= 0 for _wg, nbytes in self.wg_slices):
+            raise ValueError("DMA slices must have positive size")
+
+    @property
+    def nbytes(self) -> int:
+        return sum(nbytes for _wg, nbytes in self.wg_slices)
+
+
+class DMAEngine:
+    """Executes pre-programmed DMA commands for one GPU."""
+
+    def __init__(self, gpu: "GPU"):
+        self.gpu = gpu
+        self.env = gpu.env
+        self._commands: Dict[str, DMACommand] = {}
+        self._completions: Dict[str, BaseEvent] = {}
+        self._triggered: set[str] = set()
+        self.bytes_moved = 0.0
+
+    # -- programming (done at configuration time, Figure 12) -------------------
+
+    def program(self, command: DMACommand) -> None:
+        if command.command_id in self._commands:
+            raise SimulationError(
+                f"DMA command {command.command_id!r} already programmed")
+        if command.dst_gpu_id == self.gpu.gpu_id:
+            raise SimulationError("DMA destination cannot be the local GPU")
+        self._commands[command.command_id] = command
+        self._completions[command.command_id] = BaseEvent(self.env)
+
+    def is_programmed(self, command_id: str) -> bool:
+        return command_id in self._commands
+
+    def completion(self, command_id: str) -> BaseEvent:
+        """Event firing when the command's remote writes are all serviced."""
+        if command_id not in self._completions:
+            raise SimulationError(f"unknown DMA command {command_id!r}")
+        return self._completions[command_id]
+
+    # -- triggering (done by the Tracker at runtime) ---------------------------
+
+    def trigger(self, command_id: str) -> BaseEvent:
+        """Mark a command ready and start the transfer."""
+        if command_id not in self._commands:
+            raise SimulationError(
+                f"DMA trigger for unprogrammed command {command_id!r}")
+        if command_id in self._triggered:
+            raise SimulationError(
+                f"DMA command {command_id!r} triggered twice — the Tracker "
+                "must fire exactly once per region"
+            )
+        self._triggered.add(command_id)
+        command = self._commands[command_id]
+        self.env.process(
+            self._run(command), name=f"dma.{self.gpu.gpu_id}.{command_id}")
+        return self._completions[command_id]
+
+    # -- execution ----------------------------------------------------------------
+
+    def _slice_proc(self, command: DMACommand, wg_id: int, nbytes: int):
+        gpu = self.gpu
+        if command.read_source:
+            reads = gpu.mc.submit_bulk(
+                AccessKind.READ, Stream.COMM, nbytes, command.label,
+                chunk_id=command.chunk_id)
+            if reads:
+                yield self.env.all_of(reads)
+        link = gpu.link_to(command.dst_gpu_id)
+        yield link.transfer(nbytes)
+        remote = gpu.peer(command.dst_gpu_id)
+        writes = remote.mc.submit_bulk(
+            command.op, Stream.COMM, nbytes, command.label,
+            wg_id=wg_id, chunk_id=command.chunk_id)
+        if writes:
+            yield self.env.all_of(writes)
+        self.bytes_moved += nbytes
+
+    def _run(self, command: DMACommand):
+        start = self.env.now
+        slice_procs = [
+            self.env.process(
+                self._slice_proc(command, wg_id, nbytes),
+                name=f"dma-slice.{command.command_id}.{wg_id}",
+            )
+            for wg_id, nbytes in command.wg_slices
+        ]
+        yield self.env.all_of(slice_procs)
+        if self.env.trace is not None:
+            self.env.trace.span(
+                name=f"{command.command_id}->gpu{command.dst_gpu_id}",
+                category="dma", start_ns=start, end_ns=self.env.now,
+                track=f"GPU{self.gpu.gpu_id}.dma", group="compute",
+                args={"bytes": command.nbytes, "chunk": command.chunk_id})
+        self._completions[command.command_id].succeed()
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def programmed_commands(self) -> List[str]:
+        return sorted(self._commands)
+
+    @property
+    def triggered_commands(self) -> List[str]:
+        return sorted(self._triggered)

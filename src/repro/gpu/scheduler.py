@@ -1,0 +1,35 @@
+"""Cross-device workgroup scheduling helpers.
+
+The ring-fused schedule needs each device to produce output chunks in its
+own staggered order (Section 4.4).  :func:`build_staggered_grids` builds
+one :class:`~repro.gpu.wavefront.TileGrid` per device, offset by ring
+rank, so device ``d`` generates chunk ``(d+1) mod N`` first and its own
+chunk last — exactly when the ring needs each chunk.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import SystemConfig
+from repro.gpu.wavefront import GEMMShape, TileGrid
+
+
+def build_staggered_grids(system: SystemConfig, shape: GEMMShape,
+                          n_chunks: int, stagger: bool = True,
+                          n_cus: int = 0) -> List[TileGrid]:
+    """One per-device grid with ring-staggered chunk production order."""
+    cus = n_cus or system.compute.n_cus
+    return [
+        TileGrid(shape, system.gemm, n_cus=cus, n_chunks=n_chunks,
+                 chunk_offset=rank, stagger=stagger)
+        for rank in range(system.n_gpus)
+    ]
+
+
+def production_schedule(grid: TileGrid) -> List[int]:
+    """Stage index at which each chunk (by id) completes on this device."""
+    return [
+        grid.stage_for_chunk_completion(chunk_id)
+        for chunk_id in range(grid.n_chunks)
+    ]

@@ -1,0 +1,15 @@
+"""Inter-GPU interconnect: links and node topologies."""
+
+from repro.interconnect.topology import (
+    FullyConnectedTopology,
+    HierarchicalRingTopology,
+    RingTopology,
+    Topology,
+)
+
+__all__ = [
+    "FullyConnectedTopology",
+    "HierarchicalRingTopology",
+    "RingTopology",
+    "Topology",
+]

@@ -1,0 +1,136 @@
+"""Node topologies: wire GPUs together with bandwidth/latency links.
+
+The paper evaluates the ring topology (intra-node tensor parallelism,
+Section 2.3); the fully-connected topology supports the direct-RS
+discussion of Section 7.1.  A topology owns the :class:`GPU` instances and
+the directed :class:`~repro.sim.primitives.Pipe` links between them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.config import SystemConfig
+from repro.gpu.gpu import GPU
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.primitives import Pipe
+
+
+class Topology:
+    """Base: a set of GPUs plus directed links."""
+
+    def __init__(self, env: Environment, system: SystemConfig,
+                 policy_name: str = "compute-priority"):
+        self.env = env
+        self.system = system
+        self.gpus: List[GPU] = [
+            GPU(env, gpu_id, system, policy_name=policy_name)
+            for gpu_id in range(system.n_gpus)
+        ]
+        self.links: Dict[Tuple[int, int], Pipe] = {}
+        self._wire()
+
+    # subclasses define which directed edges exist
+    def edges(self) -> List[Tuple[int, int]]:
+        raise NotImplementedError
+
+    def _wire(self) -> None:
+        link_cfg = self.system.link
+        for src, dst in self.edges():
+            pipe = Pipe(
+                self.env,
+                bandwidth_bytes_per_ns=link_cfg.bandwidth,
+                latency_ns=link_cfg.latency_ns,
+                name=f"link.{src}->{dst}",
+            )
+            self.links[(src, dst)] = pipe
+            self.gpus[src].connect(self.gpus[dst], pipe)
+
+    def link(self, src: int, dst: int) -> Pipe:
+        if (src, dst) not in self.links:
+            raise SimulationError(f"no link {src}->{dst} in this topology")
+        return self.links[(src, dst)]
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.gpus)
+
+    def total_bytes_on_wire(self) -> float:
+        return sum(pipe.bytes_sent for pipe in self.links.values())
+
+
+class RingTopology(Topology):
+    """Bidirectional ring; ring collectives send "downstream" to
+    ``(rank - 1) mod N`` as in the paper's Figure 7 (GPU-0 sends to
+    GPU-3)."""
+
+    def edges(self) -> List[Tuple[int, int]]:
+        n = self.system.n_gpus
+        forward = [(i, (i - 1) % n) for i in range(n)]
+        backward = [(i, (i + 1) % n) for i in range(n)]
+        return forward + backward
+
+    def next_gpu(self, rank: int) -> int:
+        """Downstream neighbour (the one ``rank`` sends chunks to)."""
+        return (rank - 1) % self.system.n_gpus
+
+    def prev_gpu(self, rank: int) -> int:
+        """Upstream neighbour (the one ``rank`` receives chunks from)."""
+        return (rank + 1) % self.system.n_gpus
+
+
+class FullyConnectedTopology(Topology):
+    """All-to-all dedicated links (direct-RS substrate, Section 7.1)."""
+
+    def edges(self) -> List[Tuple[int, int]]:
+        n = self.system.n_gpus
+        return [(i, j) for i in range(n) for j in range(n) if i != j]
+
+
+class HierarchicalRingTopology(RingTopology):
+    """A ring spanning multiple nodes (Section 7.8).
+
+    GPUs are grouped into nodes of ``gpus_per_node``; ring edges that
+    cross a node boundary use slower inter-node links
+    (``inter_node_fraction`` of the intra-node bandwidth, plus extra
+    latency).  Ring collectives and T3 fusion work unchanged — the slow
+    hops simply pace the affected steps, exposing the paper's
+    "communication costs can be much larger than GEMM execution"
+    inter-node regime.
+    """
+
+    def __init__(self, env: Environment, system: SystemConfig,
+                 gpus_per_node: int, inter_node_fraction: float = 0.25,
+                 inter_node_extra_latency_ns: float = 1500.0,
+                 policy_name: str = "compute-priority"):
+        if gpus_per_node < 1 or system.n_gpus % gpus_per_node:
+            raise SimulationError(
+                f"{system.n_gpus} GPUs cannot be grouped into nodes of "
+                f"{gpus_per_node}")
+        if not 0 < inter_node_fraction <= 1:
+            raise SimulationError("inter_node_fraction must be in (0, 1]")
+        self.gpus_per_node = gpus_per_node
+        self.inter_node_fraction = inter_node_fraction
+        self.inter_node_extra_latency_ns = inter_node_extra_latency_ns
+        super().__init__(env, system, policy_name=policy_name)
+
+    def node_of(self, rank: int) -> int:
+        return rank % self.system.n_gpus // self.gpus_per_node
+
+    def is_inter_node(self, src: int, dst: int) -> bool:
+        return self.node_of(src) != self.node_of(dst)
+
+    def _wire(self) -> None:
+        link_cfg = self.system.link
+        for src, dst in self.edges():
+            crossing = self.is_inter_node(src, dst)
+            bandwidth = link_cfg.bandwidth * (
+                self.inter_node_fraction if crossing else 1.0)
+            latency = link_cfg.latency_ns + (
+                self.inter_node_extra_latency_ns if crossing else 0.0)
+            pipe = Pipe(self.env, bandwidth_bytes_per_ns=bandwidth,
+                        latency_ns=latency,
+                        name=f"link.{src}->{dst}"
+                             + (".xnode" if crossing else ""))
+            self.links[(src, dst)] = pipe
+            self.gpus[src].connect(self.gpus[dst], pipe)

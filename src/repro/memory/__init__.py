@@ -1,0 +1,43 @@
+"""Memory subsystem: HBM channels, memory-controller arbitration, LLC, NMC.
+
+This package models the part of the GPU where T3's contention story plays
+out (Sections 3.2.2, 4.3, 4.5):
+
+* :mod:`repro.memory.request` — typed memory transactions on two streams
+  (compute vs. communication).
+* :mod:`repro.memory.dram` — HBM channels with CCDL-based service timing
+  and the doubled CCDWL for near-memory op-and-store (NMC updates).
+* :mod:`repro.memory.arbiter` — round-robin / compute-priority / MCA
+  arbitration between the two streams.
+* :mod:`repro.memory.controller` — per-GPU memory controller wiring the
+  streams, channels, counters, and the T3 Tracker hook together.
+* :mod:`repro.memory.cache` — analytic LLC residency model for GEMM input
+  re-read traffic (with and without output-write bypass).
+"""
+
+from repro.memory.request import AccessKind, MemRequest, Stream
+from repro.memory.arbiter import (
+    ArbiterState,
+    ComputePriorityPolicy,
+    MCAPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.memory.dram import HBMChannel
+from repro.memory.controller import MemoryController
+from repro.memory.cache import GEMMTraffic, estimate_gemm_traffic
+
+__all__ = [
+    "AccessKind",
+    "ArbiterState",
+    "ComputePriorityPolicy",
+    "GEMMTraffic",
+    "HBMChannel",
+    "MCAPolicy",
+    "MemoryController",
+    "MemRequest",
+    "RoundRobinPolicy",
+    "Stream",
+    "estimate_gemm_traffic",
+    "make_policy",
+]

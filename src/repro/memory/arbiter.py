@@ -1,0 +1,172 @@
+"""Memory-controller arbitration between compute and communication streams.
+
+Section 4.5 of the paper motivates three policies:
+
+* **round-robin** (the strawman): alternate between streams, falling back
+  to the other stream when the preferred one is empty.  Bursty
+  communication traffic can fill DRAM queues and stall compute reads.
+* **compute-priority** (naive fix): always drain compute first.  Still
+  insufficient — communication requests issued while the compute stream
+  was momentarily empty already occupy the DRAM queue when the next
+  compute burst arrives.
+* **MCA** (T3's policy): compute priority *plus* an occupancy gate — the
+  communication stream only issues when DRAM-queue occupancy is below a
+  threshold chosen from {5, 10, 30, unlimited} by the compute kernel's
+  observed memory intensity — *plus* an anti-starvation timer.
+
+Policies are small strategy objects; one instance is created per channel
+so per-channel state (round-robin turn, starvation clock) stays local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import MCAConfig
+from repro.memory.request import Stream
+
+
+@dataclass
+class ArbiterState:
+    """The view of one channel the policy decides on."""
+
+    compute_waiting: int
+    comm_waiting: int
+    dram_occupancy: int
+    dram_capacity: int
+    now: float
+
+
+class ArbitrationPolicy:
+    """Strategy interface: pick the next stream to issue from."""
+
+    name = "abstract"
+
+    def choose(self, state: ArbiterState) -> Optional[Stream]:
+        raise NotImplementedError
+
+    def on_issue(self, stream: Stream, now: float) -> None:
+        """Called after a request from ``stream`` is issued."""
+
+    def calibrate(self, memory_intensity: float) -> None:
+        """Called at producer-kernel stage boundaries with the kernel's
+        observed fraction-of-peak DRAM demand.  Only MCA reacts."""
+
+
+class RoundRobinPolicy(ArbitrationPolicy):
+    """Alternate between streams; fall back when the turn's stream is empty."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._last: Optional[Stream] = None
+
+    def choose(self, state: ArbiterState) -> Optional[Stream]:
+        preferred = (
+            Stream.COMPUTE if self._last is not Stream.COMPUTE else Stream.COMM
+        )
+        other = Stream.COMM if preferred is Stream.COMPUTE else Stream.COMPUTE
+        for stream in (preferred, other):
+            waiting = (
+                state.compute_waiting if stream is Stream.COMPUTE
+                else state.comm_waiting
+            )
+            if waiting > 0:
+                return stream
+        return None
+
+    def on_issue(self, stream: Stream, now: float) -> None:
+        self._last = stream
+
+
+class ComputePriorityPolicy(ArbitrationPolicy):
+    """Compute always wins; comm issues only when compute is empty."""
+
+    name = "compute-priority"
+
+    def choose(self, state: ArbiterState) -> Optional[Stream]:
+        if state.compute_waiting > 0:
+            return Stream.COMPUTE
+        if state.comm_waiting > 0:
+            return Stream.COMM
+        return None
+
+
+class MCAPolicy(ArbitrationPolicy):
+    """T3's communication-aware arbitration (Section 4.5).
+
+    Compute priority, an occupancy gate on the communication stream, and a
+    starvation timer that force-issues comm if it has waited longer than
+    ``starvation_limit_ns``.
+    """
+
+    name = "mca"
+
+    def __init__(self, config: MCAConfig):
+        self.config = config
+        # Before the first calibration (the producer's isolated first
+        # stage, Section 4.5) use the most conservative finite threshold.
+        self._threshold: Optional[int] = config.occupancy_thresholds[0]
+        self._last_comm_issue = 0.0
+        self.calibrations: list[float] = []
+
+    @property
+    def threshold(self) -> Optional[int]:
+        return self._threshold
+
+    def calibrate(self, memory_intensity: float) -> None:
+        """Map observed kernel memory intensity to an occupancy threshold.
+
+        Memory-hungry kernels get a small threshold (communication must
+        leave DRAM queues nearly empty); compute-bound kernels allow more
+        communication in flight.
+        """
+        if memory_intensity < 0:
+            raise ValueError("memory intensity cannot be negative")
+        self.calibrations.append(memory_intensity)
+        thresholds = self.config.occupancy_thresholds
+        for breakpoint_value, threshold in zip(
+            self.config.intensity_breakpoints, thresholds
+        ):
+            if memory_intensity >= breakpoint_value:
+                self._threshold = threshold
+                return
+        self._threshold = thresholds[-1]
+
+    def choose(self, state: ArbiterState) -> Optional[Stream]:
+        if state.compute_waiting > 0:
+            # Starvation guard: a comm request that has waited too long
+            # jumps ahead of compute once.
+            if (
+                state.comm_waiting > 0
+                and state.now - self._last_comm_issue
+                > self.config.starvation_limit_ns
+            ):
+                return Stream.COMM
+            return Stream.COMPUTE
+        if state.comm_waiting > 0 and self._comm_allowed(state):
+            return Stream.COMM
+        return None
+
+    def _comm_allowed(self, state: ArbiterState) -> bool:
+        if self._threshold is None:
+            return True
+        return state.dram_occupancy < self._threshold
+
+    def on_issue(self, stream: Stream, now: float) -> None:
+        if stream is Stream.COMM:
+            self._last_comm_issue = now
+
+
+def make_policy(name: str, mca_config: Optional[MCAConfig] = None) -> ArbitrationPolicy:
+    """Factory used by the memory controller ("one policy per channel")."""
+    if name == "round-robin":
+        return RoundRobinPolicy()
+    if name == "compute-priority":
+        return ComputePriorityPolicy()
+    if name == "mca":
+        if mca_config is None:
+            raise ValueError("MCA policy needs an MCAConfig")
+        return MCAPolicy(mca_config)
+    raise ValueError(f"unknown arbitration policy {name!r}")

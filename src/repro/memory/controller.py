@@ -1,0 +1,186 @@
+"""Per-GPU memory controller.
+
+Responsibilities (Figure 8):
+
+* split traffic across HBM channels (round-robin interleave per request),
+* arbitrate the compute vs. communication streams (delegated to the
+  per-channel :mod:`repro.memory.arbiter` policy),
+* maintain traffic counters / timelines for the paper's accounting
+  (Figures 17 and 18),
+* notify the T3 Tracker of serviced writes/updates that carry WF metadata
+  (the Tracker is checked "once the accesses are enqueued in the memory
+  controller queue", Section 4.2.1 — we notify at service completion,
+  which is equivalent for triggering order),
+* provide stream-drain events (the communication stream is drained at
+  producer-kernel boundaries, Section 4.5) and MCA calibration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.config import SystemConfig
+from repro.memory.arbiter import make_policy
+from repro.memory.dram import HBMChannel
+from repro.memory.request import AccessKind, MemRequest, Stream
+from repro.sim.engine import BaseEvent, Environment
+from repro.sim.stats import Counter, TimeSeries
+
+
+class MemoryController:
+    """Dual-stream memory controller over ``n_channels`` HBM channels."""
+
+    def __init__(self, env: Environment, config: SystemConfig,
+                 policy_name: str = "compute-priority", gpu_id: int = 0):
+        self.env = env
+        self.config = config
+        self.gpu_id = gpu_id
+        self.policy_name = policy_name
+        self.counters = Counter()
+        self.record_traffic = config.fidelity.record_traffic
+        self.traffic: Dict[str, TimeSeries] = {}
+        self._tracker_observers: List[Callable[[MemRequest], None]] = []
+        self._outstanding: Dict[Stream, int] = {
+            Stream.COMPUTE: 0, Stream.COMM: 0,
+        }
+        self._drain_waiters: Dict[Stream, List[BaseEvent]] = {
+            Stream.COMPUTE: [], Stream.COMM: [],
+        }
+        memory = config.memory
+        self.channels = [
+            HBMChannel(
+                env,
+                channel_id=i,
+                bandwidth_bytes_per_ns=memory.channel_bandwidth,
+                queue_depth=memory.dram_queue_depth,
+                ccdwl_factor=memory.nmc_ccdwl_factor,
+                policy=make_policy(policy_name, config.mca),
+                on_serviced=self._on_serviced,
+            )
+            for i in range(memory.n_channels)
+        ]
+        self._next_channel = 0
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, request: MemRequest) -> BaseEvent:
+        """Submit one transaction; returns its completion event."""
+        request.attach(self.env)
+        self._outstanding[request.stream] += 1
+        channel = self.channels[self._next_channel]
+        self._next_channel = (self._next_channel + 1) % len(self.channels)
+        channel.submit(request)
+        return request.done
+
+    def submit_bulk(self, kind: AccessKind, stream: Stream, nbytes: float,
+                    label: str, wg_id: Optional[int] = None,
+                    wf_id: Optional[int] = None,
+                    chunk_id: Optional[int] = None) -> List[BaseEvent]:
+        """Split ``nbytes`` into quantum-sized requests and submit them all.
+
+        Returns the completion events (one per transaction).
+        """
+        if nbytes <= 0:
+            return []
+        quantum = self.config.fidelity.quantum_bytes
+        n_full, remainder = divmod(int(math.ceil(nbytes)), quantum)
+        sizes = [quantum] * n_full
+        if remainder:
+            sizes.append(remainder)
+        return [
+            self.submit(MemRequest(
+                kind=kind, stream=stream, nbytes=size, label=label,
+                wg_id=wg_id, wf_id=wf_id, chunk_id=chunk_id,
+            ))
+            for size in sizes
+        ]
+
+    # -- tracker & accounting ---------------------------------------------------
+
+    def add_tracker_observer(self, observer: Callable[[MemRequest], None]) -> None:
+        """Register a callback fired for serviced writes/updates."""
+        self._tracker_observers.append(observer)
+
+    def _on_serviced(self, request: MemRequest) -> None:
+        self.counters.add(request.counter_key, request.nbytes)
+        if self.record_traffic:
+            series = self.traffic.get(request.counter_key)
+            if series is None:
+                series = TimeSeries(request.counter_key)
+                self.traffic[request.counter_key] = series
+            series.record(self.env.now, request.nbytes)
+        if request.kind in (AccessKind.WRITE, AccessKind.UPDATE):
+            for observer in self._tracker_observers:
+                observer(request)
+        self._outstanding[request.stream] -= 1
+        if self._outstanding[request.stream] == 0:
+            waiters = self._drain_waiters[request.stream]
+            self._drain_waiters[request.stream] = []
+            for waiter in waiters:
+                waiter.succeed()
+
+    # -- drains ----------------------------------------------------------------
+
+    def outstanding(self, stream: Stream) -> int:
+        return self._outstanding[stream]
+
+    def drain(self, stream: Stream) -> BaseEvent:
+        """Event firing when every submitted request of ``stream`` is done."""
+        done = BaseEvent(self.env)
+        if self._outstanding[stream] == 0:
+            done.succeed()
+        else:
+            self._drain_waiters[stream].append(done)
+        return done
+
+    def drain_all(self) -> BaseEvent:
+        from repro.sim.primitives import AllOf
+
+        return AllOf(self.env, [self.drain(s) for s in Stream])
+
+    # -- MCA calibration ---------------------------------------------------------
+
+    def calibrate(self, read_bytes: float, write_bytes: float,
+                  duration_ns: float) -> float:
+        """Feed the policy the kernel's observed memory intensity.
+
+        The paper's MC "detects the memory intensiveness of a kernel by
+        monitoring occupancy during its isolated execution (the first
+        stage)"; we equivalently measure demanded bytes/ns against peak.
+        Returns the intensity fraction for inspection.
+        """
+        if duration_ns <= 0:
+            raise ValueError("calibration window must have positive duration")
+        demand = (read_bytes + write_bytes) / duration_ns
+        intensity = demand / self.config.memory.effective_bandwidth
+        for channel in self.channels:
+            channel.policy.calibrate(intensity)
+        return intensity
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        return all(channel.idle for channel in self.channels)
+
+    def total_bytes(self, prefix: str = "") -> float:
+        return self.counters.total(prefix)
+
+    def utilization(self, elapsed_ns: float) -> float:
+        if not self.channels:
+            return 0.0
+        return sum(c.utilization(elapsed_ns) for c in self.channels) / len(self.channels)
+
+    def merged_traffic(self, keys: Iterable[str]) -> TimeSeries:
+        """Merge several recorded series into one time-ordered series."""
+        merged = TimeSeries("+".join(keys))
+        samples: List[tuple[float, float]] = []
+        for key in keys:
+            series = self.traffic.get(key)
+            if series is None:
+                continue
+            samples.extend(zip(series.times, series.values))
+        for time, value in sorted(samples):
+            merged.record(time, value)
+        return merged

@@ -1,0 +1,165 @@
+"""HBM channel model.
+
+Each channel is a service center with:
+
+* two *stream queues* (compute / communication) feeding it,
+* a finite *DRAM queue* of issued-but-unserviced requests — the occupancy
+  the MCA policy gates on (Section 4.5),
+* FIFO service at the channel's share of HBM bandwidth, with NMC
+  op-and-store (``UPDATE``) requests taking ``ccdwl_factor`` times longer
+  (CCDWL = 2 x CCDL, Table 1 / Section 5.1.1).
+
+Two coroutines run per channel: an *issue loop* that moves requests from
+the stream queues into the DRAM queue under the arbitration policy, and a
+*service loop* that drains the DRAM queue in order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.memory.arbiter import ArbiterState, ArbitrationPolicy
+from repro.memory.request import AccessKind, MemRequest, Stream
+from repro.sim.engine import BaseEvent, Environment
+
+
+class HBMChannel:
+    """One simulated HBM channel (see module docstring)."""
+
+    def __init__(self, env: Environment, channel_id: int,
+                 bandwidth_bytes_per_ns: float, queue_depth: int,
+                 ccdwl_factor: float, policy: ArbitrationPolicy,
+                 on_serviced: Optional[Callable[[MemRequest], None]] = None):
+        if bandwidth_bytes_per_ns <= 0:
+            raise ValueError("channel bandwidth must be positive")
+        if queue_depth < 1:
+            raise ValueError("DRAM queue depth must be >= 1")
+        if ccdwl_factor < 1:
+            raise ValueError("CCDWL factor must be >= 1 (it is a penalty)")
+        self.env = env
+        self.channel_id = channel_id
+        self.bandwidth = bandwidth_bytes_per_ns
+        self.queue_depth = queue_depth
+        self.ccdwl_factor = ccdwl_factor
+        self.policy = policy
+        self.on_serviced = on_serviced
+
+        self._queues: dict[Stream, Deque[MemRequest]] = {
+            Stream.COMPUTE: deque(),
+            Stream.COMM: deque(),
+        }
+        self._dram_q: Deque[MemRequest] = deque()
+        self._in_service = 0
+        self._issue_wake: Optional[BaseEvent] = None
+        self._service_wake: Optional[BaseEvent] = None
+        self.busy_time = 0.0
+        self.bytes_serviced = 0.0
+
+        env.process(self._issue_loop(), name=f"hbm{channel_id}.issue")
+        env.process(self._service_loop(), name=f"hbm{channel_id}.service")
+
+    # -- public API ---------------------------------------------------------
+
+    def submit(self, request: MemRequest) -> None:
+        request.attach(self.env)
+        request.issued_at = self.env.now
+        self._queues[request.stream].append(request)
+        self._wake_issue()
+
+    @property
+    def dram_occupancy(self) -> int:
+        """Issued requests waiting at or being serviced by the DRAM."""
+        return len(self._dram_q) + self._in_service
+
+    def stream_backlog(self, stream: Stream) -> int:
+        return len(self._queues[stream])
+
+    @property
+    def idle(self) -> bool:
+        return (
+            not self._dram_q
+            and self._in_service == 0
+            and not self._queues[Stream.COMPUTE]
+            and not self._queues[Stream.COMM]
+        )
+
+    def service_time(self, request: MemRequest) -> float:
+        base = request.nbytes / self.bandwidth
+        if request.kind is AccessKind.UPDATE:
+            return base * self.ccdwl_factor
+        return base
+
+    def utilization(self, elapsed_ns: float) -> float:
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed_ns)
+
+    # -- wake plumbing --------------------------------------------------------
+
+    def _wake_issue(self) -> None:
+        if self._issue_wake is not None and not self._issue_wake.triggered:
+            self._issue_wake.succeed()
+
+    def _wake_service(self) -> None:
+        if self._service_wake is not None and not self._service_wake.triggered:
+            self._service_wake.succeed()
+
+    # -- coroutines -----------------------------------------------------------
+
+    def _state(self) -> ArbiterState:
+        return ArbiterState(
+            compute_waiting=len(self._queues[Stream.COMPUTE]),
+            comm_waiting=len(self._queues[Stream.COMM]),
+            dram_occupancy=self.dram_occupancy,
+            dram_capacity=self.queue_depth,
+            now=self.env.now,
+        )
+
+    def _issue_loop(self):
+        while True:
+            choice: Optional[Stream] = None
+            if self.dram_occupancy < self.queue_depth:
+                choice = self.policy.choose(self._state())
+            if choice is None:
+                self._issue_wake = BaseEvent(self.env)
+                yield self._issue_wake
+                self._issue_wake = None
+                continue
+            request = self._queues[choice].popleft()
+            self._dram_q.append(request)
+            self.policy.on_issue(choice, self.env.now)
+            self._wake_service()
+            # Yield a zero-timeout so issue/service interleave fairly and
+            # occupancy is observed one request at a time.
+            yield self.env.timeout(0)
+
+    def _service_loop(self):
+        while True:
+            if not self._dram_q:
+                self._service_wake = BaseEvent(self.env)
+                yield self._service_wake
+                self._service_wake = None
+                continue
+            request = self._dram_q.popleft()
+            self._in_service = 1
+            duration = self.service_time(request)
+            yield self.env.timeout(duration)
+            self._in_service = 0
+            self.busy_time += duration
+            trace = self.env.trace
+            if trace is not None and trace.record_dram:
+                trace.span(
+                    name=request.counter_key, category="dram",
+                    start_ns=self.env.now - duration, end_ns=self.env.now,
+                    track=f"hbm.ch{self.channel_id}", group="memory",
+                    args={"stream": request.stream.value,
+                          "bytes": request.nbytes})
+            self.bytes_serviced += request.nbytes
+            request.serviced_at = self.env.now
+            if request.done is not None:
+                request.done.succeed(request)
+            if self.on_serviced is not None:
+                self.on_serviced(request)
+            # Occupancy dropped: the issue loop may proceed.
+            self._wake_issue()

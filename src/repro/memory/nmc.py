@@ -1,0 +1,138 @@
+"""Near-memory compute (NMC) semantics: functional op-and-store model.
+
+The *timing* of NMC lives in :mod:`repro.memory.dram` (``UPDATE`` requests
+are serviced at CCDWL = ``ccdwl_factor`` x CCDL).  This module provides the
+*functional* side: a :class:`ReductionBuffer` that checks the reduction
+algebra of a fused GEMM-RS run — every element of every chunk must receive
+exactly the expected number of update contributions (one per device for an
+all-reduce-style reduction), and reads of a chunk must only be triggered
+after it is fully reduced.
+
+Tests and the T3 fusion engine use it as an executable invariant; it never
+affects timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class ReductionError(AssertionError):
+    """A violation of reduce-ordering or contribution-count invariants."""
+
+
+@dataclass
+class ChunkLedger:
+    """Contribution accounting for one ring chunk on one device."""
+
+    chunk_id: int
+    expected_contributions: int
+    nbytes: int
+    received_bytes: float = 0.0
+    contributions: List[str] = field(default_factory=list)
+    sealed: bool = False
+
+    @property
+    def contribution_count(self) -> int:
+        return len(self.contributions)
+
+    @property
+    def complete(self) -> bool:
+        return self.contribution_count >= self.expected_contributions
+
+
+class ReductionBuffer:
+    """Tracks update contributions per chunk on one device.
+
+    Parameters
+    ----------
+    nbytes_per_chunk:
+        chunk sizes, by chunk id.
+    expected_contributions:
+        how many whole-chunk contributions each chunk must accumulate
+        before it may be read/forwarded.  For the T3 fused ring-RS a
+        steady-state chunk expects 2 (local GEMM + one incoming partial);
+        a direct-RS chunk on N devices expects N.
+    """
+
+    def __init__(self, nbytes_per_chunk: Dict[int, int],
+                 expected_contributions):
+        """``expected_contributions`` is an int (same for every chunk) or
+        a per-chunk mapping — direct-RS expects N on the own chunk while
+        ring-RS expects 2 everywhere."""
+        if isinstance(expected_contributions, int):
+            expected_map = {cid: expected_contributions
+                            for cid in nbytes_per_chunk}
+        else:
+            expected_map = dict(expected_contributions)
+        if any(v < 1 for v in expected_map.values()):
+            raise ReductionError("chunks need at least one contribution")
+        if set(expected_map) != set(nbytes_per_chunk):
+            raise ReductionError("expectation map must cover every chunk")
+        self.expected = expected_map
+        self.ledgers: Dict[int, ChunkLedger] = {
+            cid: ChunkLedger(cid, expected_map[cid], size)
+            for cid, size in nbytes_per_chunk.items()
+        }
+
+    def contribute(self, chunk_id: int, nbytes: float, source: str) -> None:
+        ledger = self._ledger(chunk_id)
+        if ledger.sealed:
+            raise ReductionError(
+                f"chunk {chunk_id} received a contribution from {source!r} "
+                "after it was read out — a reduce-after-forward race"
+            )
+        ledger.received_bytes += nbytes
+        if ledger.received_bytes > ledger.nbytes * ledger.contribution_count + 1e-6:
+            # A new whole-chunk contribution has started.
+            ledger.contributions.append(source)
+        if ledger.contribution_count > ledger.expected_contributions:
+            raise ReductionError(
+                f"chunk {chunk_id} got {ledger.contribution_count} "
+                f"contributions; expected {ledger.expected_contributions}"
+            )
+
+    def contribute_whole(self, chunk_id: int, source: str) -> None:
+        """Register one complete chunk-sized contribution."""
+        ledger = self._ledger(chunk_id)
+        if ledger.sealed:
+            raise ReductionError(
+                f"chunk {chunk_id} updated by {source!r} after seal"
+            )
+        ledger.contributions.append(source)
+        ledger.received_bytes += ledger.nbytes
+        if ledger.contribution_count > ledger.expected_contributions:
+            raise ReductionError(
+                f"chunk {chunk_id} got {ledger.contribution_count} "
+                f"contributions; expected {ledger.expected_contributions}"
+            )
+
+    def seal(self, chunk_id: int) -> None:
+        """Mark a chunk read-out (DMA'd / consumed).  Must be complete."""
+        ledger = self._ledger(chunk_id)
+        if not ledger.complete:
+            raise ReductionError(
+                f"chunk {chunk_id} sealed with only "
+                f"{ledger.contribution_count}/{ledger.expected_contributions} "
+                "contributions — T3 triggered a DMA too early"
+            )
+        ledger.sealed = True
+
+    def is_complete(self, chunk_id: int) -> bool:
+        return self._ledger(chunk_id).complete
+
+    def all_sealed(self) -> bool:
+        return all(ledger.sealed for ledger in self.ledgers.values())
+
+    def summary(self) -> List[Tuple[int, int, bool]]:
+        """``(chunk_id, contributions, sealed)`` rows for reporting."""
+        return [
+            (lid, ledger.contribution_count, ledger.sealed)
+            for lid, ledger in sorted(self.ledgers.items())
+        ]
+
+    def _ledger(self, chunk_id: int) -> ChunkLedger:
+        if chunk_id not in self.ledgers:
+            raise ReductionError(f"unknown chunk id {chunk_id}")
+        return self.ledgers[chunk_id]

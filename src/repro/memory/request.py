@@ -1,0 +1,76 @@
+"""Typed memory transactions.
+
+Every DRAM access in the simulator is a :class:`MemRequest`.  Requests
+carry:
+
+* an :class:`AccessKind` — ``READ``, ``WRITE``, or ``UPDATE`` (the NMC
+  op-and-store of Section 4.3, serviced at CCDWL = 2x CCDL);
+* a :class:`Stream` — ``COMPUTE`` (producer kernel) or ``COMM``
+  (collective/DMA), the two streams the memory controller arbitrates
+  between (Section 4.5);
+* a ``label`` used for the paper's traffic accounting (Figures 17/18),
+  e.g. ``"gemm"``, ``"rs"``, ``"ag"``, ``"dma"``;
+* optional Tracker metadata ``(wg_id, wf_id)`` — the paper adds exactly
+  this metadata to memory accesses so the Tracker can attribute updates
+  to WF output tiles (Section 4.2.1).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.engine import BaseEvent, Environment
+
+
+class AccessKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    #: near-memory op-and-store (atomic reduce at the DRAM banks).
+    UPDATE = "update"
+
+
+class Stream(enum.Enum):
+    COMPUTE = "compute"
+    COMM = "comm"
+
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class MemRequest:
+    """A single memory transaction of ``nbytes`` (one simulation quantum)."""
+
+    kind: AccessKind
+    stream: Stream
+    nbytes: int
+    label: str
+    wg_id: Optional[int] = None
+    wf_id: Optional[int] = None
+    chunk_id: Optional[int] = None
+    req_id: int = field(default_factory=lambda: next(_request_ids))
+    #: completion event, attached by the memory controller on submit.
+    done: Optional[BaseEvent] = None
+    issued_at: Optional[float] = None
+    serviced_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError("memory request must move a positive byte count")
+
+    @property
+    def counter_key(self) -> str:
+        return f"{self.label}.{self.kind.value}"
+
+    @property
+    def has_tracker_metadata(self) -> bool:
+        return self.wg_id is not None and self.wf_id is not None
+
+    def attach(self, env: Environment) -> "MemRequest":
+        """Give the request a completion event in ``env``."""
+        if self.done is None:
+            self.done = BaseEvent(env)
+        return self

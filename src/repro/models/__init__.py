@@ -1,0 +1,38 @@
+"""Transformer workloads: hyperparameters, sliced sub-layers, projections.
+
+* :mod:`repro.models.transformer` — model configs and the four
+  tensor-parallel sub-layers whose GEMMs feed an all-reduce (OP and FC-2
+  in the forward pass, FC-1 and IP in backprop — Section 6.1).
+* :mod:`repro.models.zoo` — the paper's Table 2 models plus the
+  futuristic 1T/10T configurations of Figure 4.
+* :mod:`repro.models.endtoend` — roofline operator cost model composing
+  full training / prompt-inference iterations (the paper's Section 5.1.2
+  methodology, with an analytic operator model replacing the MLPerf BERT
+  measurement — see DESIGN.md substitutions).
+"""
+
+from repro.models.transformer import (
+    SubLayer,
+    TransformerConfig,
+    AR_SUBLAYERS,
+)
+from repro.models import zoo
+from repro.models.endtoend import (
+    IterationBreakdown,
+    OperatorCost,
+    Phase,
+    iteration_breakdown,
+    apply_sublayer_speedups,
+)
+
+__all__ = [
+    "AR_SUBLAYERS",
+    "IterationBreakdown",
+    "OperatorCost",
+    "Phase",
+    "SubLayer",
+    "TransformerConfig",
+    "apply_sublayer_speedups",
+    "iteration_breakdown",
+    "zoo",
+]

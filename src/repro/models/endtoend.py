@@ -1,0 +1,344 @@
+"""Roofline operator cost model for end-to-end Transformer iterations.
+
+The paper composes end-to-end numbers from measured parts (Section 5.1.2:
+MLPerf BERT measurement + analytical scaling).  We do the same with an
+analytic operator model:
+
+* every GEMM costs ``max(flops / sustained_flops, bytes / HBM_bw)`` plus a
+  kernel-launch overhead;
+* unfused attention (the paper's MLPerf v1.1 implementation predates
+  FlashAttention) is modelled with a low effective-FLOPs efficiency and
+  many passes over the [SL, SL] score matrix — calibrated so attention is
+  the paper's reported 40-45% of unoptimized prompt-inference time;
+* element-wise operators (layernorm, residual, GELU, dropout) are
+  memory-bound passes over activations;
+* collectives use the closed forms of :mod:`repro.collectives.api`.
+
+Each operator is tagged with the sub-layer *group* it belongs to
+("OP"/"FC-2"/"FC-1"/"IP" for the sliced-GEMM -> AR groups), so Figure 4's
+breakdown and Figure 19's end-to-end speedups are straightforward
+reductions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.collectives.api import ring_ag_time, ring_rs_time
+from repro.config import SystemConfig
+from repro.gpu.wavefront import GEMMShape
+from repro.models.transformer import TransformerConfig
+
+#: effective fraction of peak FLOPs that unfused attention kernels reach.
+ATTENTION_EFFICIENCY = 0.035
+#: memory passes over the [B, heads, SL, SL] score matrix (mask, softmax,
+#: dropout, transposes...).
+ATTENTION_SCORE_PASSES = 20
+#: per-kernel launch overhead.
+LAUNCH_NS = 2_000.0
+
+
+class Phase(enum.Enum):
+    TRAINING = "training"
+    PROMPT = "prompt"          # inference prompt-processing phase
+    GENERATION = "generation"  # per-token decode phase (Section 7.3)
+
+
+@dataclass(frozen=True)
+class OperatorCost:
+    """One operator instance (per layer, per device)."""
+
+    name: str
+    category: str              # gemm | sliced-gemm | attention | elementwise | rs | ag
+    time_ns: float
+    #: sliced sub-layer group this op belongs to, if any.
+    group: Optional[str] = None
+
+    @property
+    def in_sliced_group(self) -> bool:
+        return self.group is not None
+
+
+@dataclass
+class IterationBreakdown:
+    """Per-iteration operator costs for one model/TP/phase."""
+
+    model: TransformerConfig
+    tp: int
+    phase: Phase
+    per_layer_ops: List[OperatorCost] = field(default_factory=list)
+
+    @property
+    def n_layers(self) -> int:
+        return self.model.n_layers
+
+    def layer_time(self) -> float:
+        return sum(op.time_ns for op in self.per_layer_ops)
+
+    def total_time(self) -> float:
+        return self.layer_time() * self.n_layers
+
+    def time_by_category(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for op in self.per_layer_ops:
+            out[op.category] = out.get(op.category, 0.0) + op.time_ns
+        return {k: v * self.n_layers for k, v in out.items()}
+
+    def sliced_group_time(self, group: Optional[str] = None) -> float:
+        """Time in the sliced-GEMM -> AR groups (one group or all)."""
+        total = sum(
+            op.time_ns for op in self.per_layer_ops
+            if op.group is not None and (group is None or op.group == group)
+        )
+        return total * self.n_layers
+
+    def comm_time(self) -> float:
+        by_cat = self.time_by_category()
+        return by_cat.get("rs", 0.0) + by_cat.get("ag", 0.0)
+
+    def sliced_fraction(self) -> float:
+        """Figure 4's 'Sliced GEMM -> AR' share of the iteration."""
+        return self.sliced_group_time() / self.total_time()
+
+    def comm_fraction(self) -> float:
+        return self.comm_time() / self.total_time()
+
+    def attention_fraction(self) -> float:
+        return self.time_by_category().get("attention", 0.0) / self.total_time()
+
+
+# --------------------------------------------------------------- op costers
+
+def gemm_time(shape: GEMMShape, system: SystemConfig) -> float:
+    flops_t = shape.flops / system.compute.sustained_gemm_flops_per_ns
+    bytes_total = shape.a_bytes + shape.b_bytes + shape.output_bytes
+    mem_t = bytes_total / system.memory.effective_bandwidth
+    return max(flops_t, mem_t) + LAUNCH_NS
+
+
+def elementwise_time(nbytes: float, system: SystemConfig,
+                     passes: float = 2.0) -> float:
+    return passes * nbytes / system.memory.effective_bandwidth + LAUNCH_NS
+
+
+def attention_time(model: TransformerConfig, tp: int,
+                   system: SystemConfig) -> float:
+    """Unfused attention score+context BMMs, softmax, mask, dropout."""
+    flops = 4.0 * model.batch * model.seq_len ** 2 * model.hidden / tp
+    flops_t = flops / (
+        system.compute.sustained_gemm_flops_per_ns * ATTENTION_EFFICIENCY
+    )
+    score_bytes = (
+        model.batch * model.n_heads * model.seq_len ** 2
+        * model.element_bytes / tp
+    )
+    mem_t = ATTENTION_SCORE_PASSES * score_bytes / system.memory.effective_bandwidth
+    return max(flops_t, mem_t) + 8 * LAUNCH_NS
+
+
+def _ar_latency_bound(model: TransformerConfig,
+                      system: SystemConfig) -> float:
+    """Tiny-activation ring all-reduce (generation phase): dominated by
+    per-step link latency rather than bandwidth."""
+    n = system.n_gpus
+    nbytes = model.batch * model.hidden * model.element_bytes
+    per_step = (
+        system.link.latency_ns
+        + (nbytes / n) / system.link.bandwidth
+    )
+    return 2 * (n - 1) * per_step + LAUNCH_NS
+
+
+# --------------------------------------------------------- layer assembly
+
+def _forward_ops(model: TransformerConfig, tp: int,
+                 system: SystemConfig) -> List[OperatorCost]:
+    h = model.hidden
+    t = model.tokens
+    eb = model.element_bytes
+    act = model.activation_bytes
+    ops: List[OperatorCost] = []
+
+    def gemm(name, m, n, k, category="gemm", group=None):
+        shape = GEMMShape(m, n, k, eb, name)
+        ops.append(OperatorCost(name, category,
+                                gemm_time(shape, system), group=group))
+
+    def collective(name, kind, group):
+        fn = ring_rs_time if kind == "rs" else ring_ag_time
+        ops.append(OperatorCost(name, kind, fn(act, system), group=group))
+
+    ops.append(OperatorCost(
+        "ln-1", "elementwise", elementwise_time(2 * act, system)))
+    gemm("qkv-proj", t, 3 * h // tp, h)
+    ops.append(OperatorCost(
+        "attention", "attention", attention_time(model, tp, system)))
+    gemm("out-proj", t, h, h // tp, category="sliced-gemm", group="OP")
+    collective("op-rs", "rs", group="OP")
+    collective("op-ag", "ag", group="OP")
+    ops.append(OperatorCost(
+        "residual-1", "elementwise", elementwise_time(2 * act, system)))
+    ops.append(OperatorCost(
+        "ln-2", "elementwise", elementwise_time(2 * act, system)))
+    gemm("fc-1", t, model.ffn_mult * h // tp, h)
+    gelu_bytes = 2 * t * model.ffn_mult * h * eb / tp
+    ops.append(OperatorCost(
+        "gelu", "elementwise", elementwise_time(gelu_bytes, system, passes=1)))
+    gemm("fc-2", t, h, model.ffn_mult * h // tp,
+         category="sliced-gemm", group="FC-2")
+    collective("fc2-rs", "rs", group="FC-2")
+    collective("fc2-ag", "ag", group="FC-2")
+    ops.append(OperatorCost(
+        "residual-2", "elementwise", elementwise_time(2 * act, system)))
+    return ops
+
+
+def _backward_ops(model: TransformerConfig, tp: int,
+                  system: SystemConfig) -> List[OperatorCost]:
+    h = model.hidden
+    t = model.tokens
+    eb = model.element_bytes
+    act = model.activation_bytes
+    ops: List[OperatorCost] = []
+
+    def gemm(name, m, n, k, category="gemm", group=None):
+        shape = GEMMShape(m, n, k, eb, name)
+        ops.append(OperatorCost(name, category,
+                                gemm_time(shape, system), group=group))
+
+    def collective(name, kind, group):
+        fn = ring_rs_time if kind == "rs" else ring_ag_time
+        ops.append(OperatorCost(name, kind, fn(act, system), group=group))
+
+    # FC-2 backward: dX (column-sliced output) and dW — both AR-free.
+    gemm("fc-2-dx", t, model.ffn_mult * h // tp, h)
+    gemm("fc-2-dw", model.ffn_mult * h // tp, h, t)
+    ops.append(OperatorCost(
+        "gelu-bwd", "elementwise",
+        elementwise_time(2 * t * model.ffn_mult * h * eb / tp, system,
+                         passes=1)))
+    # FC-1 backward dX produces a [T, H] partial sum -> AR (Section 6.1).
+    gemm("fc-1-dx", t, h, model.ffn_mult * h // tp,
+         category="sliced-gemm", group="FC-1")
+    collective("fc1-rs", "rs", group="FC-1")
+    collective("fc1-ag", "ag", group="FC-1")
+    gemm("fc-1-dw", h, model.ffn_mult * h // tp, t)
+    ops.append(OperatorCost(
+        "ln-2-bwd", "elementwise", elementwise_time(3 * act, system)))
+    # Output-projection backward (AR-free) + attention backward.
+    gemm("out-proj-dx", t, h // tp, h)
+    gemm("out-proj-dw", h // tp, h, t)
+    ops.append(OperatorCost(
+        "attention-bwd", "attention",
+        2.0 * attention_time(model, tp, system)))
+    # QKV-projection backward dX -> AR.
+    gemm("qkv-proj-dx", t, h, 3 * h // tp,
+         category="sliced-gemm", group="IP")
+    collective("ip-rs", "rs", group="IP")
+    collective("ip-ag", "ag", group="IP")
+    gemm("qkv-proj-dw", h, 3 * h // tp, t)
+    ops.append(OperatorCost(
+        "ln-1-bwd", "elementwise", elementwise_time(3 * act, system)))
+    ops.append(OperatorCost(
+        "residual-bwd", "elementwise", elementwise_time(2 * act, system)))
+    return ops
+
+
+def _generation_ops(model: TransformerConfig, tp: int,
+                    system: SystemConfig) -> List[OperatorCost]:
+    """One decode step (Section 7.3): GEMVs bound by sliced-weight reads,
+    KV-cache-bound attention, and tiny latency-bound all-reduces.  TP's
+    win here is aggregate memory bandwidth; the ARs remain on the
+    critical path and are what T3 hides."""
+    h = model.hidden
+    eb = model.element_bytes
+    bw = system.memory.effective_bandwidth
+
+    def weight_gemv(name, weight_elems, category="gemm", group=None):
+        time = (weight_elems * eb / tp) / bw + LAUNCH_NS
+        return OperatorCost(name, category, time, group=group)
+
+    ar = _ar_latency_bound(model, system)
+    kv_bytes = (2 * model.batch * model.n_heads * model.seq_len
+                * model.head_dim * eb / tp)
+    act = model.batch * h * eb
+    ops = [
+        OperatorCost("ln-1", "elementwise",
+                     2 * act / bw + LAUNCH_NS),
+        weight_gemv("qkv-proj", 3 * h * h),
+        OperatorCost("attention", "attention",
+                     kv_bytes / bw + 4 * LAUNCH_NS),
+        weight_gemv("out-proj", h * h, category="sliced-gemm", group="OP"),
+        OperatorCost("op-rs", "rs", ar / 2, group="OP"),
+        OperatorCost("op-ag", "ag", ar / 2, group="OP"),
+        weight_gemv("fc-1", model.ffn_mult * h * h),
+        weight_gemv("fc-2", model.ffn_mult * h * h,
+                    category="sliced-gemm", group="FC-2"),
+        OperatorCost("fc2-rs", "rs", ar / 2, group="FC-2"),
+        OperatorCost("fc2-ag", "ag", ar / 2, group="FC-2"),
+        OperatorCost("residual", "elementwise",
+                     2 * act / bw + LAUNCH_NS),
+    ]
+    return ops
+
+
+def iteration_breakdown(model: TransformerConfig, tp: int,
+                        system: SystemConfig,
+                        phase: Phase = Phase.TRAINING) -> IterationBreakdown:
+    """Build the full iteration cost model (the Figure 4 ingredient)."""
+    if tp < 2:
+        raise ValueError("tensor parallelism needs tp >= 2")
+    if system.n_gpus != tp:
+        raise ValueError(
+            f"system has {system.n_gpus} GPUs but tp={tp}; collectives "
+            "span the TP group — construct the system with n_gpus=tp"
+        )
+    if phase is Phase.GENERATION:
+        ops = _generation_ops(model, tp, system)
+    else:
+        ops = _forward_ops(model, tp, system)
+        if phase is Phase.TRAINING:
+            ops = ops + _backward_ops(model, tp, system)
+    return IterationBreakdown(model=model, tp=tp, phase=phase,
+                              per_layer_ops=ops)
+
+
+def nmc_following_ops_speedup(breakdown: IterationBreakdown) -> float:
+    """Section 7.6: with T3, memory-intensive operators that follow an
+    all-reduce (residuals, the post-attention layernorm) can run near
+    memory on the *reduced sub-array* before the all-gather, shrinking
+    them by the TP degree.  Returns the end-to-end speedup of applying
+    just that optimization."""
+    post_ar = {"residual-1", "residual-2", "ln-2", "residual",
+               "residual-bwd", "ln-2-bwd"}
+    n = breakdown.tp
+    base = breakdown.total_time()
+    saved = sum(
+        op.time_ns * (1.0 - 1.0 / n)
+        for op in breakdown.per_layer_ops
+        if op.name in post_ar
+    ) * breakdown.n_layers
+    return base / (base - saved)
+
+
+# -------------------------------------------------- applying T3 speedups
+
+def apply_sublayer_speedups(breakdown: IterationBreakdown,
+                            speedups: Dict[str, float]) -> float:
+    """End-to-end speedup when each sliced group is sped up as measured.
+
+    ``speedups`` maps sub-layer names ("OP", "FC-2", "FC-1", "IP") to the
+    whole-group (GEMM + RS + AG) speedup from the sub-layer experiments.
+    Groups absent from the mapping stay at 1x.  This is the paper's
+    Section 5.1.2 scaling methodology for Figure 19.
+    """
+    base_total = breakdown.total_time()
+    saved = 0.0
+    for group, speedup in speedups.items():
+        if speedup <= 0:
+            raise ValueError(f"speedup for {group} must be positive")
+        group_time = breakdown.sliced_group_time(group)
+        saved += group_time * (1.0 - 1.0 / speedup)
+    return base_total / (base_total - saved)

@@ -1,0 +1,127 @@
+"""Transformer model configurations and tensor-parallel sub-layers.
+
+Megatron-style tensor parallelism (Shoeybi et al.) slices each layer's
+GEMM pairs column-then-row; the *row-parallel* GEMMs produce partial sums
+that require an all-reduce on the critical path:
+
+=========  =====  ===========================  =======================
+sub-layer  phase  GEMM (per device)            why it needs an AR
+=========  =====  ===========================  =======================
+OP         fwd    [T, H/tp] x [H/tp, H]        attention output proj
+FC-2       fwd    [T, 4H/tp] x [4H/tp, H]      2nd MLP GEMM
+FC-1       bwd    [T, 4H/tp] x [4H/tp, H]      dX of 1st MLP GEMM
+IP         bwd    [T, 3H/tp] x [3H/tp, H]      dX of QKV projection
+=========  =====  ===========================  =======================
+
+(T = tokens = sequence length x batch; the AR payload is always the
+``[T, H]`` activation tensor.)  These are exactly the four cases of the
+paper's Figures 15/16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro import units
+from repro.gpu.wavefront import GEMMShape
+
+#: the sub-layers whose sliced GEMM feeds an all-reduce, with
+#: (phase, K multiplier): K = multiplier * H / tp.
+AR_SUBLAYERS: Dict[str, Tuple[str, int]] = {
+    "OP": ("fwd", 1),
+    "FC-2": ("fwd", 4),
+    "FC-1": ("bwd", 4),
+    "IP": ("bwd", 3),
+}
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Hyperparameters of one Transformer model (Table 2 row)."""
+
+    name: str
+    hidden: int          # H
+    n_layers: int        # L
+    seq_len: int         # SL
+    batch: int           # B
+    ffn_mult: int = 4
+    element_bytes: int = units.FP16_BYTES
+    head_dim: int = 128
+
+    def __post_init__(self) -> None:
+        if min(self.hidden, self.n_layers, self.seq_len, self.batch) < 1:
+            raise ValueError(f"invalid hyperparameters for {self.name}")
+
+    @property
+    def tokens(self) -> int:
+        """Input tokens per iteration (= SL x B, Section 5.2)."""
+        return self.seq_len * self.batch
+
+    @property
+    def n_heads(self) -> int:
+        return max(1, self.hidden // self.head_dim)
+
+    @property
+    def n_parameters(self) -> float:
+        """~(4 + 2*ffn_mult) * L * H^2 (attention + MLP weights)."""
+        per_layer = (4 + 2 * self.ffn_mult) * self.hidden ** 2
+        return float(self.n_layers * per_layer)
+
+    @property
+    def activation_bytes(self) -> int:
+        """One [T, H] activation tensor — the AR payload."""
+        return self.tokens * self.hidden * self.element_bytes
+
+    # -- sub-layers ---------------------------------------------------------
+
+    def sublayer(self, name: str, tp: int) -> "SubLayer":
+        """One of the four AR-feeding sub-layers, sliced ``tp`` ways."""
+        if name not in AR_SUBLAYERS:
+            raise ValueError(
+                f"unknown sub-layer {name!r}; choose from "
+                f"{sorted(AR_SUBLAYERS)}")
+        if tp < 2:
+            raise ValueError("tensor parallelism needs tp >= 2")
+        phase, k_mult = AR_SUBLAYERS[name]
+        k_full = k_mult * self.hidden
+        if k_full % tp:
+            raise ValueError(
+                f"{name}: K={k_full} not divisible by tp={tp}")
+        shape = GEMMShape(
+            m=self.tokens, n=self.hidden, k=k_full // tp,
+            element_bytes=self.element_bytes,
+            name=f"{self.name}.{name}.tp{tp}",
+        )
+        return SubLayer(model=self, name=name, phase=phase, tp=tp,
+                        gemm=shape)
+
+    def ar_sublayers(self, tp: int) -> List["SubLayer"]:
+        """All four, in the paper's figure order."""
+        return [self.sublayer(name, tp) for name in
+                ("OP", "FC-2", "FC-1", "IP")]
+
+
+@dataclass(frozen=True)
+class SubLayer:
+    """A tensor-sliced GEMM plus the all-reduce it requires."""
+
+    model: TransformerConfig
+    name: str
+    phase: str          # "fwd" | "bwd"
+    tp: int
+    gemm: GEMMShape
+
+    @property
+    def comm_bytes(self) -> int:
+        """All-reduce payload: the [T, H] partial-sum output."""
+        return self.model.activation_bytes
+
+    @property
+    def label(self) -> str:
+        return f"{self.model.name}/{self.name}/TP{self.tp}"
+
+    @property
+    def occurrences_per_iteration(self) -> int:
+        """How many times this sub-layer runs per training iteration."""
+        return self.model.n_layers

@@ -1,0 +1,99 @@
+"""The paper's model zoo (Table 2) plus the futuristic models of Figure 4.
+
+================  =========  =====  ======  ===  =========
+model             H          L      SL      B    TP degrees
+================  =========  =====  ======  ===  =========
+Mega-GPT-2        3072       74     1K      16   8, 16
+T-NLG             4256       78     1K      8    8, 16
+GPT-3             12288      96     1K      2    32
+PALM              18432      118    1K      2    32
+MT-NLG            20480      105    1K      2    32
+Future-1T*        25600      128    1K      2    64
+Future-10T*       51200      256    1K      2    64
+================  =========  =====  ======  ===  =========
+
+(*) The paper's Figure 4 includes "futuristic" one- and ten-trillion
+parameter Transformers sharded 64 ways without publishing hyperparameters;
+the starred rows are our parameterization chosen so
+``(4 + 2*ffn_mult) * L * H^2`` lands on ~1T and ~10T parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.models.transformer import TransformerConfig
+
+
+def megatron_gpt2() -> TransformerConfig:
+    return TransformerConfig("Mega-GPT-2", hidden=3072, n_layers=74,
+                             seq_len=1024, batch=16)
+
+
+def t_nlg() -> TransformerConfig:
+    return TransformerConfig("T-NLG", hidden=4256, n_layers=78,
+                             seq_len=1024, batch=8)
+
+
+def gpt3() -> TransformerConfig:
+    return TransformerConfig("GPT-3", hidden=12288, n_layers=96,
+                             seq_len=1024, batch=2)
+
+
+def palm() -> TransformerConfig:
+    return TransformerConfig("PALM", hidden=18432, n_layers=118,
+                             seq_len=1024, batch=2)
+
+
+def mt_nlg() -> TransformerConfig:
+    return TransformerConfig("MT-NLG", hidden=20480, n_layers=105,
+                             seq_len=1024, batch=2)
+
+
+def future_1t() -> TransformerConfig:
+    return TransformerConfig("Future-1T", hidden=25600, n_layers=128,
+                             seq_len=1024, batch=2)
+
+
+def future_10t() -> TransformerConfig:
+    return TransformerConfig("Future-10T", hidden=51200, n_layers=256,
+                             seq_len=1024, batch=2)
+
+
+#: model -> TP degrees studied in the paper.
+TP_SETUPS: Dict[str, Tuple[int, ...]] = {
+    "Mega-GPT-2": (8, 16),
+    "T-NLG": (8, 16),
+    "GPT-3": (32,),
+    "PALM": (32,),
+    "MT-NLG": (32,),
+    "Future-1T": (64,),
+    "Future-10T": (64,),
+}
+
+
+def all_models() -> List[TransformerConfig]:
+    return [megatron_gpt2(), t_nlg(), gpt3(), palm(), mt_nlg(),
+            future_1t(), future_10t()]
+
+
+def table2_models() -> List[TransformerConfig]:
+    """Exactly the Table 2 rows (no futuristic models)."""
+    return [megatron_gpt2(), t_nlg(), gpt3(), palm(), mt_nlg()]
+
+
+def small_models() -> List[TransformerConfig]:
+    """The two models of the Figures 15/16 sub-layer study."""
+    return [megatron_gpt2(), t_nlg()]
+
+
+def large_models() -> List[TransformerConfig]:
+    """The ~0.2-0.5T models of the Section 6.4 study."""
+    return [gpt3(), palm(), mt_nlg()]
+
+
+def by_name(name: str) -> TransformerConfig:
+    for model in all_models():
+        if model.name == name:
+            return model
+    raise ValueError(f"unknown model {name!r}")

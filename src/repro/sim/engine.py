@@ -1,0 +1,260 @@
+"""Core discrete-event engine: the event loop and process machinery.
+
+Simulation time is a ``float`` in *nanoseconds* throughout this repository
+(see :mod:`repro.units`).  Events scheduled at the same timestamp are fired
+in FIFO order of scheduling, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal uses of the engine (double triggers, deadlock...)."""
+
+
+class BaseEvent:
+    """An occurrence at a point in simulated time.
+
+    Callbacks attached via :meth:`add_callback` run when the event fires.
+    Events carry a ``value`` that is delivered to any process yielding on
+    them; if the value is an exception instance flagged via :meth:`fail`,
+    it is *thrown* into the waiting process instead.
+    """
+
+    __slots__ = ("env", "_callbacks", "_value", "_ok", "_triggered", "_fired")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._callbacks: list[Callable[["BaseEvent"], None]] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._fired = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def fired(self) -> bool:
+        """True once callbacks have run."""
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    def add_callback(self, fn: Callable[["BaseEvent"], None]) -> None:
+        if self._fired:
+            # Late subscription: run immediately (still at current sim time).
+            fn(self)
+            return
+        self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "BaseEvent":
+        """Trigger the event successfully, delivering ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "BaseEvent":
+        """Trigger the event as a failure; waiters get ``exc`` thrown."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._value = exc
+        self._ok = False
+        self.env._schedule(self, delay)
+        return self
+
+    def _fire(self) -> None:
+        self._fired = True
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.env.now:.1f}>"
+
+
+class Process(BaseEvent):
+    """A running simulation coroutine.
+
+    A process is itself an event: it fires (with the generator's return
+    value) when the generator finishes, so processes can wait on each other
+    simply by yielding the other process.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[BaseEvent] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off on the next event-loop iteration at the current time.
+        boot = BaseEvent(env)
+        boot.add_callback(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.sim.primitives.Interrupt` into the process."""
+        from repro.sim.primitives import Interrupt
+
+        if self._triggered:
+            return
+        target = self._waiting_on
+        if target is not None:
+            # Detach from whatever we were waiting on.
+            try:
+                target._callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        kick = BaseEvent(self.env)
+        kick.add_callback(lambda ev: self._step(throw=Interrupt(cause)))
+        kick.succeed()
+
+    def _resume(self, event: BaseEvent) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(send=event.value)
+        else:
+            self._step(throw=event.value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        if self._triggered:
+            return
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as exc:
+            if self._callbacks:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(target, BaseEvent):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield events (Timeout, Event, Process, resource requests...)"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Environment:
+    """The simulation clock plus the pending-event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, BaseEvent]] = []
+        self._seq = 0
+        self.active_processes = 0
+        #: optional repro.analysis.trace.TraceRecorder; components record
+        #: execution spans into it when set.
+        self.trace = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- construction helpers -------------------------------------------------
+
+    def event(self) -> BaseEvent:
+        return BaseEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> BaseEvent:
+        from repro.sim.primitives import Timeout
+
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[BaseEvent]) -> BaseEvent:
+        from repro.sim.primitives import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[BaseEvent]) -> BaseEvent:
+        from repro.sim.primitives import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # -- scheduling & the main loop -------------------------------------------
+
+    def _schedule(self, event: BaseEvent, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} ns in the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')``."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Fire the single next event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._fire()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the schedule drains, or until simulated time ``until``.
+
+        Returns the final simulation time.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError("run(until=...) target is in the past")
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None:
+            self._now = until
+        return self._now
+
+    def run_until_process(self, process: Process) -> Any:
+        """Run until ``process`` finishes; returns the process return value."""
+        while not process.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: schedule drained but process {process.name!r} "
+                    "never finished"
+                )
+            self.step()
+        # Drain same-time callbacks so the process's own callbacks fire.
+        while self._heap and self._heap[0][0] <= self._now:
+            self.step()
+        if not process.ok:
+            raise process.value
+        return process.value

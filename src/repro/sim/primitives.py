@@ -1,0 +1,262 @@
+"""Waitable primitives built on the engine: timeouts, composites, resources.
+
+These are the concurrency vocabulary the GPU / memory / interconnect models
+are written in:
+
+* :class:`Timeout` — fixed-delay event (service times, link latency).
+* :class:`Event` — manually-triggered event (Tracker thresholds, barriers).
+* :class:`AllOf` / :class:`AnyOf` — composite waits.
+* :class:`Resource` — counted resource with FIFO queueing (CUs, DMA engines).
+* :class:`Store` — FIFO of items between producer/consumer processes
+  (memory-controller queues, link packet queues).
+* :class:`Pipe` — bandwidth/latency-modelled byte stream (inter-GPU links).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, List, Optional
+
+from repro.sim.engine import BaseEvent, Environment, SimulationError
+
+# Public alias: a bare, manually-triggered event.
+Event = BaseEvent
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Timeout(BaseEvent):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: Environment, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self.succeed(value, delay=delay)
+
+
+class AllOf(BaseEvent):
+    """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ("_remaining", "_values")
+
+    def __init__(self, env: Environment, events: List[BaseEvent]):
+        super().__init__(env)
+        self._values: list[Any] = [None] * len(events)
+        self._remaining = len(events)
+        if not events:
+            self.succeed([])
+            return
+        for index, event in enumerate(events):
+            event.add_callback(self._make_child_callback(index))
+
+    def _make_child_callback(self, index: int):
+        def _on_child(event: BaseEvent) -> None:
+            if self.triggered:
+                return
+            if not event.ok:
+                self.fail(event.value)
+                return
+            self._values[index] = event.value
+            self._remaining -= 1
+            if self._remaining == 0:
+                self.succeed(list(self._values))
+
+        return _on_child
+
+
+class AnyOf(BaseEvent):
+    """Fires when the first child fires; value is ``(index, value)``."""
+
+    __slots__ = ()
+
+    def __init__(self, env: Environment, events: List[BaseEvent]):
+        super().__init__(env)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, event in enumerate(events):
+            event.add_callback(self._make_child_callback(index))
+
+    def _make_child_callback(self, index: int):
+        def _on_child(event: BaseEvent) -> None:
+            if self.triggered:
+                return
+            if not event.ok:
+                self.fail(event.value)
+                return
+            self.succeed((index, event.value))
+
+        return _on_child
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue.
+
+    ``request()`` returns an event that fires once a unit is granted; the
+    holder must later call ``release()``.  The convenience generator
+    :meth:`acquire` wraps request/hold/release when used with
+    ``yield from``.
+    """
+
+    def __init__(self, env: Environment, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[BaseEvent] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> BaseEvent:
+        grant = BaseEvent(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            grant.succeed(self)
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        if self._waiters:
+            grant = self._waiters.popleft()
+            grant.succeed(self)  # hand the unit straight to the next waiter
+        else:
+            self._in_use -= 1
+
+    def acquire(self, hold: float):
+        """``yield from`` helper: wait for a unit, hold it, release it."""
+        yield self.request()
+        try:
+            yield self.env.timeout(hold)
+        finally:
+            self.release()
+
+
+class Store:
+    """An unbounded (or bounded) FIFO of items between processes."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None,
+                 name: str = "store"):
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[BaseEvent] = deque()
+        self._putters: deque[tuple[BaseEvent, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> Iterable[Any]:
+        return tuple(self._items)
+
+    def put(self, item: Any) -> BaseEvent:
+        done = BaseEvent(self.env)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            done.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            done.succeed()
+        else:
+            self._putters.append((done, item))
+        return done
+
+    def get(self) -> BaseEvent:
+        got = BaseEvent(self.env)
+        if self._items:
+            got.succeed(self._items.popleft())
+            if self._putters:
+                done, item = self._putters.popleft()
+                self._items.append(item)
+                done.succeed()
+        else:
+            self._getters.append(got)
+        return got
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns None when empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        if self._putters:
+            done, queued = self._putters.popleft()
+            self._items.append(queued)
+            done.succeed()
+        return item
+
+
+class Pipe:
+    """A serialized byte stream with finite bandwidth and fixed latency.
+
+    Models a point-to-point interconnect link: transfers are serialized on
+    the sender side at ``bandwidth_bytes_per_ns`` and each transfer incurs
+    ``latency_ns`` propagation delay after its last byte is on the wire.
+    The completion event fires when the payload has fully arrived at the
+    receiver.
+    """
+
+    def __init__(self, env: Environment, bandwidth_bytes_per_ns: float,
+                 latency_ns: float = 0.0, name: str = "pipe"):
+        if bandwidth_bytes_per_ns <= 0:
+            raise SimulationError("Pipe bandwidth must be positive")
+        if latency_ns < 0:
+            raise SimulationError("Pipe latency must be >= 0")
+        self.env = env
+        self.bandwidth = bandwidth_bytes_per_ns
+        self.latency = latency_ns
+        self.name = name
+        self._wire_free_at = 0.0
+        self.bytes_sent = 0
+        self.busy_time = 0.0
+
+    def transfer(self, nbytes: float) -> BaseEvent:
+        """Start a transfer; returns an event firing on arrival."""
+        if nbytes < 0:
+            raise SimulationError("cannot transfer negative bytes")
+        start = max(self.env.now, self._wire_free_at)
+        serialization = nbytes / self.bandwidth
+        self._wire_free_at = start + serialization
+        self.bytes_sent += nbytes
+        self.busy_time += serialization
+        if self.env.trace is not None:
+            self.env.trace.span(
+                name=f"{nbytes / 1024:.0f}KiB", category="link",
+                start_ns=start, end_ns=start + serialization,
+                track=self.name, group="interconnect",
+                args={"bytes": nbytes})
+        done = BaseEvent(self.env)
+        arrival_delay = (start - self.env.now) + serialization + self.latency
+        done.succeed(nbytes, delay=arrival_delay)
+        return done
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Fraction of ``elapsed_ns`` the wire was busy."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed_ns)

@@ -1,0 +1,40 @@
+"""T3: the paper's contribution — transparent track & trigger.
+
+* :mod:`repro.t3.tracker` — the lightweight set-associative Tracker at the
+  memory controller (Section 4.2.1).
+* :mod:`repro.t3.trigger` — region->DMA-block bookkeeping and triggering
+  (Section 4.2.2).
+* :mod:`repro.t3.address_map` — ``remote_map`` / ``dma_map`` address-space
+  configuration (Section 4.4, Figures 11/12).
+* :mod:`repro.t3.fusion` — the fused GEMM-collective orchestration
+  (Figure 7) built from the pieces above.
+* :mod:`repro.t3.configs` — the evaluation configurations of Section 5.3.
+"""
+
+from repro.t3.tracker import Tracker, TrackerStats
+from repro.t3.trigger import DMABlock, TriggerController
+from repro.t3.address_map import AddressSpaceConfig, ChunkRoute, RouteKind
+from repro.t3.fusion import FusedGEMMRS, FusedResult
+from repro.t3.consumer import (
+    ConsumerFusionResult,
+    FusedAGConsumerGEMM,
+    sequential_ag_then_gemm,
+)
+from repro.t3.configs import RunConfig, CONFIGS
+
+__all__ = [
+    "AddressSpaceConfig",
+    "CONFIGS",
+    "ChunkRoute",
+    "ConsumerFusionResult",
+    "DMABlock",
+    "FusedAGConsumerGEMM",
+    "FusedGEMMRS",
+    "FusedResult",
+    "sequential_ag_then_gemm",
+    "RouteKind",
+    "RunConfig",
+    "Tracker",
+    "TrackerStats",
+    "TriggerController",
+]

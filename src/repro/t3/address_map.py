@@ -1,0 +1,179 @@
+"""Producer output address-space configuration (Section 4.4).
+
+T3 never modifies GEMM kernels; it changes where the *output address
+space* points.  A :class:`AddressSpaceConfig` holds one
+:class:`ChunkRoute` per output chunk of one device:
+
+* ``REMOTE_UPDATE`` — the ``remote_map`` case: fine-grained peer-to-peer
+  stores go straight over the link and NMC-update the destination
+  (Figure 7 step 1: GPU-0's stage-1 output lands in GPU-3's memory).
+* ``LOCAL_UPDATE`` — the ``dma_map`` case: stores NMC-update local DRAM;
+  the Tracker counts local + incoming updates and fires the
+  pre-programmed DMA when the chunk is fully reduced here.
+* ``LOCAL_TERMINAL`` — the device's own chunk: tracked like LOCAL_UPDATE
+  but with no DMA — its completion *is* the reduce-scatter result.
+
+Constructors encode the collective patterns: ring reduce-scatter
+(Figure 11/12), direct reduce-scatter on a fully-connected node and ring
+all-gather (Section 7.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class RouteKind(enum.Enum):
+    REMOTE_UPDATE = "remote_update"   # remote_map: store-over-link
+    LOCAL_UPDATE = "local_update"     # dma_map: local NMC + triggered DMA
+    LOCAL_TERMINAL = "local_terminal"  # own chunk, no DMA
+
+
+@dataclass(frozen=True)
+class ChunkRoute:
+    """Where one output chunk of this device's GEMM goes."""
+
+    chunk_id: int
+    kind: RouteKind
+    #: destination GPU for REMOTE_UPDATE (immediate) or LOCAL_UPDATE (DMA).
+    dst_gpu: Optional[int] = None
+    #: total whole-chunk update contributions this device's copy expects
+    #: before its DMA/terminal trigger (ring-RS: 2, Section 4.2.1).
+    expected_updates: int = 1
+    #: whether stores reduce in memory ("update", reduction collectives)
+    #: or overwrite ("store", data-exchange collectives like all-to-all).
+    op: str = "update"
+
+    def __post_init__(self) -> None:
+        needs_dst = self.kind in (RouteKind.REMOTE_UPDATE,
+                                  RouteKind.LOCAL_UPDATE)
+        if needs_dst and self.dst_gpu is None:
+            raise ValueError(f"{self.kind} route needs a destination GPU")
+        if self.kind is RouteKind.LOCAL_TERMINAL and self.dst_gpu is not None:
+            raise ValueError("terminal chunks stay local")
+        if self.expected_updates < 1:
+            raise ValueError("expected_updates must be >= 1")
+        if self.op not in ("update", "store"):
+            raise ValueError("route op must be 'update' or 'store'")
+
+    @property
+    def dma_command_id(self) -> Optional[str]:
+        if self.kind is RouteKind.LOCAL_UPDATE:
+            return f"dma.chunk{self.chunk_id}"
+        return None
+
+
+class AddressSpaceConfig:
+    """All chunk routes for one device in one fused collective."""
+
+    def __init__(self, rank: int, n_gpus: int,
+                 routes: Dict[int, ChunkRoute], collective: str):
+        if set(routes) != set(range(n_gpus)) and collective != "all-gather":
+            raise ValueError("every chunk needs a route")
+        self.rank = rank
+        self.n_gpus = n_gpus
+        self.routes = routes
+        self.collective = collective
+
+    def route(self, chunk_id: int) -> ChunkRoute:
+        return self.routes[chunk_id]
+
+    def tracked_chunks(self) -> List[int]:
+        """Chunks whose updates this device's Tracker counts."""
+        return sorted(
+            cid for cid, route in self.routes.items()
+            if route.kind in (RouteKind.LOCAL_UPDATE, RouteKind.LOCAL_TERMINAL)
+        )
+
+    def dma_chunks(self) -> List[int]:
+        return sorted(
+            cid for cid, route in self.routes.items()
+            if route.kind is RouteKind.LOCAL_UPDATE
+        )
+
+    def remote_chunks(self) -> List[int]:
+        return sorted(
+            cid for cid, route in self.routes.items()
+            if route.kind is RouteKind.REMOTE_UPDATE
+        )
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def ring_reduce_scatter(cls, rank: int, n_gpus: int,
+                            split_k: int = 1) -> "AddressSpaceConfig":
+        """Figure 11/12: the ring-RS configuration for ``rank``.
+
+        Production order is ``rank+1, rank+2, ..., rank``; the first chunk
+        is remote-mapped to the downstream neighbour, middle chunks are
+        dma-mapped there, and the device's own chunk is terminal.
+
+        ``split_k`` handles split-K GEMMs (Section 7.7): each element
+        receives ``split_k`` local partial updates, so a chunk is complete
+        after ``split_k`` local updates plus its incoming contribution —
+        itself ``split_k`` fine-grained updates when the upstream
+        neighbour remote-maps it, or one reduced DMA otherwise.  The
+        driver deduces ``split_k`` from the kernel packet's tile-size
+        metadata.
+        """
+        if n_gpus < 2:
+            raise ValueError("ring-RS needs at least 2 GPUs")
+        if split_k < 1:
+            raise ValueError("split_k must be >= 1")
+        downstream = (rank - 1) % n_gpus
+        remote_fed = (rank + 2) % n_gpus  # receives upstream's remote_map
+        routes: Dict[int, ChunkRoute] = {}
+        first = (rank + 1) % n_gpus
+        routes[first] = ChunkRoute(first, RouteKind.REMOTE_UPDATE,
+                                   dst_gpu=downstream)
+
+        def expected_for(cid: int) -> int:
+            incoming = split_k if cid == remote_fed else 1
+            return split_k + incoming
+
+        for offset in range(2, n_gpus):
+            cid = (rank + offset) % n_gpus
+            routes[cid] = ChunkRoute(cid, RouteKind.LOCAL_UPDATE,
+                                     dst_gpu=downstream,
+                                     expected_updates=expected_for(cid))
+        routes[rank] = ChunkRoute(rank, RouteKind.LOCAL_TERMINAL,
+                                  expected_updates=expected_for(rank))
+        return cls(rank, n_gpus, routes, collective="ring-rs")
+
+    @classmethod
+    def all_to_all(cls, rank: int, n_gpus: int) -> "AddressSpaceConfig":
+        """Section 7.1/7.2: fused all-to-all for expert parallelism.
+
+        Chunk ``c`` of the producer's output belongs to device ``c``; it is
+        remote-mapped there as a plain *store* (no reduction) and the
+        device's own chunk is written locally once."""
+        if n_gpus < 2:
+            raise ValueError("all-to-all needs at least 2 GPUs")
+        routes: Dict[int, ChunkRoute] = {}
+        for cid in range(n_gpus):
+            if cid == rank:
+                routes[cid] = ChunkRoute(cid, RouteKind.LOCAL_TERMINAL,
+                                         expected_updates=1, op="store")
+            else:
+                routes[cid] = ChunkRoute(cid, RouteKind.REMOTE_UPDATE,
+                                         dst_gpu=cid, op="store")
+        return cls(rank, n_gpus, routes, collective="all-to-all")
+
+    @classmethod
+    def direct_reduce_scatter(cls, rank: int, n_gpus: int) -> "AddressSpaceConfig":
+        """Section 7.1: fully-connected direct-RS — every foreign chunk is
+        remote-mapped straight to its final owner; the collective needs no
+        DMA and no local traffic for foreign chunks at all."""
+        if n_gpus < 2:
+            raise ValueError("direct-RS needs at least 2 GPUs")
+        routes: Dict[int, ChunkRoute] = {}
+        for cid in range(n_gpus):
+            if cid == rank:
+                routes[cid] = ChunkRoute(cid, RouteKind.LOCAL_TERMINAL,
+                                         expected_updates=n_gpus)
+            else:
+                routes[cid] = ChunkRoute(cid, RouteKind.REMOTE_UPDATE,
+                                         dst_gpu=cid)
+        return cls(rank, n_gpus, routes, collective="direct-rs")

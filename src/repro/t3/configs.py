@@ -1,0 +1,64 @@
+"""The evaluation configurations of Section 5.3.
+
+Each :class:`RunConfig` names one way to execute a "sliced GEMM -> AR"
+sub-layer:
+
+* ``Sequential`` — baseline: GEMM kernel, then ring-RS kernel, then
+  ring-AG kernel, all CU-driven and serialized.
+* ``T3`` — fused GEMM-RS with track & trigger + NMC, compute-priority
+  memory arbitration, then sequential AG.
+* ``T3-MCA`` — T3 plus the communication-aware memory-controller
+  arbitration policy.
+* ``Ideal-GEMM-RS-Overlap`` — analytic ideal: ``max(GEMM, RS)`` isolated
+  times with zero contention, then AG.
+* ``Ideal-RS+NMC`` — the ideal overlap where RS additionally enjoys
+  near-memory reductions: ``max(GEMM, RS_NMC)`` + AG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One named execution strategy for a sliced sub-layer."""
+
+    name: str
+    fused: bool               # overlap GEMM with RS via T3
+    mc_policy: str            # memory-controller arbitration policy
+    analytic: bool = False    # closed-form ideal, no event simulation
+    nmc_rs: bool = False      # analytic RS uses near-memory reductions
+
+    def __post_init__(self) -> None:
+        if self.analytic and self.fused:
+            raise ValueError("analytic ideals are not event-simulated")
+
+
+SEQUENTIAL = RunConfig("Sequential", fused=False,
+                       mc_policy="round-robin")
+# Plain T3 runs on the GPU's default round-robin arbitration — Section 4.5
+# identifies exactly that policy as the source of producer-kernel stalls
+# that T3-MCA then removes.
+T3 = RunConfig("T3", fused=True, mc_policy="round-robin")
+T3_MCA = RunConfig("T3-MCA", fused=True, mc_policy="mca")
+IDEAL_OVERLAP = RunConfig("Ideal-GEMM-RS-Overlap", fused=False,
+                          mc_policy="compute-priority", analytic=True)
+IDEAL_RS_NMC = RunConfig("Ideal-RS+NMC", fused=False,
+                         mc_policy="compute-priority", analytic=True,
+                         nmc_rs=True)
+
+CONFIGS: Tuple[RunConfig, ...] = (
+    SEQUENTIAL, T3, T3_MCA, IDEAL_OVERLAP, IDEAL_RS_NMC,
+)
+
+
+def config_by_name(name: str) -> RunConfig:
+    for config in CONFIGS:
+        if config.name == name:
+            return config
+    raise ValueError(
+        f"unknown configuration {name!r}; choose from "
+        f"{[c.name for c in CONFIGS]}"
+    )

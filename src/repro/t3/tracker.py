@@ -1,0 +1,163 @@
+"""The T3 Tracker (Section 4.2.1).
+
+A small structure at the memory controller that counts local, remote and
+DMA updates per wavefront output region:
+
+* 256 entries indexed by the WG id's LSBs (``wg_lsb``), set-associative,
+  tagged ``(wg_msb, wf_id)``;
+* each entry holds an update counter; when the counter reaches
+  ``region bytes x expected updates per element`` the region is complete
+  and the entry is handed to the :class:`~repro.t3.trigger.TriggerController`
+  (which fires a DMA once all regions of a DMA block are complete);
+* entries are allocated when a region is programmed (address-space
+  configuration, Section 4.4) and freed when the region completes, so the
+  structure is sized for the WGs in flight (the paper sizes it for the
+  maximum WGs per producer stage).
+
+Tracking granularity is configurable: ``"wg"`` (default; one region per
+workgroup, matching the store granularity the simulator uses) or ``"wf"``
+(one region per wavefront, the paper's full granularity).  A request that
+carries only a ``wg_id`` contributes its bytes evenly to that WG's WF
+regions in ``"wf"`` mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import TrackerConfig
+from repro.memory.request import AccessKind, MemRequest
+
+RegionKey = Tuple[int, int]  # (wg_id, wf_id); wf_id == -1 in "wg" mode
+
+
+@dataclass
+class TrackerEntry:
+    """One tracked WF/WG output region."""
+
+    key: RegionKey
+    expected_bytes: float
+    received_bytes: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return self.received_bytes >= self.expected_bytes - 1e-6
+
+
+@dataclass
+class TrackerStats:
+    """Occupancy and behaviour counters for hardware-sizing checks."""
+
+    regions_programmed: int = 0
+    regions_completed: int = 0
+    updates_observed: int = 0
+    untracked_updates: int = 0
+    peak_ways_used: int = 0
+    overflow_events: int = 0
+
+
+class Tracker:
+    """Set-associative update tracker for one GPU."""
+
+    def __init__(self, config: TrackerConfig, granularity: str = "wg",
+                 strict_capacity: bool = False):
+        if granularity not in ("wg", "wf"):
+            raise ValueError("granularity must be 'wg' or 'wf'")
+        self.config = config
+        self.granularity = granularity
+        self.strict_capacity = strict_capacity
+        self._sets: List[Dict[RegionKey, TrackerEntry]] = [
+            {} for _ in range(config.n_entries)
+        ]
+        self._on_complete: List[Callable[[RegionKey], None]] = []
+        self.stats = TrackerStats()
+
+    # -- configuration (driver-time) -------------------------------------------
+
+    def add_completion_listener(self, fn: Callable[[RegionKey], None]) -> None:
+        self._on_complete.append(fn)
+
+    def program_region(self, wg_id: int, wf_id: int,
+                       expected_bytes: float) -> None:
+        """Allocate an entry for a region (done by the dma_map setup)."""
+        if expected_bytes <= 0:
+            raise ValueError("a tracked region must expect positive bytes")
+        key = self._key(wg_id, wf_id)
+        entry_set = self._set_for(wg_id)
+        if key in entry_set:
+            raise ValueError(f"region {key} programmed twice")
+        if len(entry_set) >= self.config.ways:
+            self.stats.overflow_events += 1
+            if self.strict_capacity:
+                raise RuntimeError(
+                    f"Tracker set {wg_id % self.config.n_entries} exceeded "
+                    f"{self.config.ways} ways — the producer stage is larger "
+                    "than the Tracker was sized for"
+                )
+        entry_set[key] = TrackerEntry(key=key, expected_bytes=expected_bytes)
+        self.stats.regions_programmed += 1
+        self.stats.peak_ways_used = max(
+            self.stats.peak_ways_used, len(entry_set))
+
+    def is_tracked(self, wg_id: int, wf_id: int = -1) -> bool:
+        return self._key(wg_id, wf_id) in self._set_for(wg_id)
+
+    # -- runtime ----------------------------------------------------------------
+
+    def observe(self, request: MemRequest) -> None:
+        """Memory-controller hook: account a serviced write/update."""
+        if request.kind not in (AccessKind.WRITE, AccessKind.UPDATE):
+            return
+        if request.wg_id is None:
+            self.stats.untracked_updates += 1
+            return
+        self.stats.updates_observed += 1
+        if self.granularity == "wf" and request.wf_id is None:
+            # A WG-granular store covers all of the WG's WF regions.
+            self._spread_over_wfs(request)
+            return
+        wf = request.wf_id if self.granularity == "wf" else -1
+        self._credit(request.wg_id, wf if wf is not None else -1,
+                     request.nbytes)
+
+    def _spread_over_wfs(self, request: MemRequest) -> None:
+        entry_set = self._set_for(request.wg_id)
+        wf_keys = [key for key in entry_set if key[0] == request.wg_id]
+        if not wf_keys:
+            self.stats.untracked_updates += 1
+            return
+        share = request.nbytes / len(wf_keys)
+        for _wg, wf in list(wf_keys):
+            self._credit(request.wg_id, wf, share)
+
+    def _credit(self, wg_id: int, wf_id: int, nbytes: float) -> None:
+        key = self._key(wg_id, wf_id)
+        entry_set = self._set_for(wg_id)
+        entry = entry_set.get(key)
+        if entry is None:
+            # Updates to unprogrammed regions (e.g. the chunk a GPU writes
+            # remotely) are legal; they are simply not tracked here.
+            self.stats.untracked_updates += 1
+            return
+        entry.received_bytes += nbytes
+        if entry.complete:
+            del entry_set[key]
+            self.stats.regions_completed += 1
+            for fn in self._on_complete:
+                fn(key)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _key(self, wg_id: int, wf_id: int) -> RegionKey:
+        return (wg_id, wf_id if self.granularity == "wf" else -1)
+
+    def _set_for(self, wg_id: int) -> Dict[RegionKey, TrackerEntry]:
+        return self._sets[wg_id % self.config.n_entries]
+
+    @property
+    def live_regions(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def pending_regions(self) -> List[RegionKey]:
+        return sorted(key for s in self._sets for key in s)

@@ -1,0 +1,75 @@
+"""Units and conversions.
+
+Conventions used across the whole library:
+
+* **time** is ``float`` nanoseconds,
+* **sizes** are bytes,
+* **bandwidth** is bytes per nanosecond (1 B/ns == 1 GB/s),
+* **frequency** is GHz (cycles per nanosecond).
+
+Keeping one unit system everywhere avoids the classic simulator bug of
+mixing cycles at different clock domains; clock-domain conversion happens
+exactly once, at configuration time.
+"""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+S = 1_000_000_000.0
+
+FP16_BYTES = 2
+FP32_BYTES = 4
+
+
+def gbps(value: float) -> float:
+    """Gigabytes/second -> bytes/nanosecond (they are numerically equal)."""
+    return float(value)
+
+
+def tbps(value: float) -> float:
+    """Terabytes/second -> bytes/nanosecond."""
+    return float(value) * 1000.0
+
+
+def cycles_to_ns(cycles: float, clock_ghz: float) -> float:
+    """Convert a cycle count at ``clock_ghz`` into nanoseconds."""
+    if clock_ghz <= 0:
+        raise ValueError("clock must be positive")
+    return cycles / clock_ghz
+
+
+def ns_to_cycles(ns: float, clock_ghz: float) -> float:
+    if clock_ghz <= 0:
+        raise ValueError("clock must be positive")
+    return ns * clock_ghz
+
+
+def pretty_bytes(nbytes: float) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.2f} {unit}" if unit != "B" else f"{value:.0f} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def pretty_time(ns: float) -> str:
+    """Human-readable duration."""
+    if ns < US:
+        return f"{ns:.1f} ns"
+    if ns < MS:
+        return f"{ns / US:.2f} us"
+    if ns < S:
+        return f"{ns / MS:.2f} ms"
+    return f"{ns / S:.3f} s"

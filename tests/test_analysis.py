@@ -1,0 +1,81 @@
+"""Unit tests for repro.analysis (metrics + traffic reduction)."""
+
+import pytest
+
+from repro.analysis.metrics import SpeedupTable, speedup
+from repro.analysis.traffic import DramBreakdown, collect_breakdown
+from repro.config import table1_system
+from repro.interconnect.topology import RingTopology
+from repro.memory.request import AccessKind, Stream
+from repro.sim import Environment
+
+
+# ------------------------------------------------------------------ metrics
+
+def test_speedup_basic():
+    assert speedup(200, 100) == 2.0
+    with pytest.raises(ValueError):
+        speedup(0, 1)
+    with pytest.raises(ValueError):
+        speedup(1, -1)
+
+
+def test_speedup_table_reductions():
+    table = SpeedupTable()
+    table.add("a", "T3", 1.2)
+    table.add("a", "MCA", 1.3)
+    table.add("b", "T3", 1.2)
+    table.add("b", "MCA", 1.4)
+    assert table.configs() == ["T3", "MCA"]
+    assert table.geomean("T3") == pytest.approx(1.2)
+    assert table.max("MCA") == pytest.approx(1.4)
+    summary = table.summary()
+    assert summary["MCA"][0] == pytest.approx((1.3 * 1.4) ** 0.5)
+
+
+def test_speedup_table_render_contains_rows():
+    table = SpeedupTable()
+    table.add("case-1", "T3", 1.25)
+    text = table.render("My Title")
+    assert "My Title" in text
+    assert "case-1" in text
+    assert "1.250" in text
+    assert "geomean" in text and "max" in text
+
+
+def test_speedup_table_rejects_nonpositive():
+    table = SpeedupTable()
+    with pytest.raises(ValueError):
+        table.add("x", "T3", 0.0)
+
+
+# ------------------------------------------------------------------ traffic
+
+def test_dram_breakdown_totals():
+    b = DramBreakdown(gemm_read=10, gemm_write=20, rs_read=30,
+                      rs_write=40, ag_read=50, ag_write=60)
+    assert b.total == 210
+    assert b.reads == 90
+    assert b.writes == 120
+    assert b.as_dict()["rs_write"] == 40
+
+
+def test_collect_breakdown_averages_and_merges_updates():
+    env = Environment()
+    system = table1_system(n_gpus=2).with_fidelity(quantum_bytes=1024)
+    topo = RingTopology(env, system)
+    topo.gpus[0].mc.submit_bulk(AccessKind.WRITE, Stream.COMPUTE, 1000,
+                                "gemm")
+    topo.gpus[0].mc.submit_bulk(AccessKind.UPDATE, Stream.COMPUTE, 500,
+                                "gemm")
+    topo.gpus[1].mc.submit_bulk(AccessKind.READ, Stream.COMM, 2000, "rs")
+    env.run()
+    breakdown = collect_breakdown(topo.gpus)
+    # Averaged over the two GPUs; updates fold into writes.
+    assert breakdown.gemm_write == pytest.approx(750)
+    assert breakdown.rs_read == pytest.approx(1000)
+
+
+def test_collect_breakdown_requires_gpus():
+    with pytest.raises(ValueError):
+        collect_breakdown([])

@@ -1,0 +1,115 @@
+"""Integration tests for the co-simulated baseline collectives."""
+
+import pytest
+
+from repro import units
+from repro.collectives.api import ring_ag_time, ring_rs_time
+from repro.collectives.baseline import (
+    RingAllGather,
+    RingAllReduce,
+    RingReduceScatter,
+)
+from repro.config import table1_system
+from repro.interconnect.topology import RingTopology
+from repro.sim import Environment
+
+
+def make_topo(n_gpus=4, quantum=32 * 1024):
+    env = Environment()
+    system = table1_system(n_gpus=n_gpus).with_fidelity(quantum_bytes=quantum)
+    return env, RingTopology(env, system)
+
+
+def test_rs_completes_on_all_ranks():
+    env, topo = make_topo(4)
+    rs = RingReduceScatter(topo, nbytes_total=4 * units.MiB)
+    result = rs.run()
+    assert result.duration > 0
+    assert set(result.per_rank_end) == {0, 1, 2, 3}
+
+
+def test_rs_dram_accounting_matches_closed_form():
+    """Per GPU: reads (2N-1)*C, writes N*C — the Figure 18 baseline."""
+    env, topo = make_topo(4)
+    total = 4 * units.MiB
+    chunk = total / 4
+    rs = RingReduceScatter(topo, nbytes_total=total)
+    rs.run()
+    for gpu in topo.gpus:
+        assert gpu.mc.counters.get("rs.read") == pytest.approx(
+            (2 * 4 - 1) * chunk)
+        assert gpu.mc.counters.get("rs.write") == pytest.approx(4 * chunk)
+
+
+def test_rs_time_tracks_analytic_model():
+    """The event simulation should follow the closed form (the Figure 14
+    validation methodology) within ~15%."""
+    env, topo = make_topo(4, quantum=64 * 1024)
+    total = 24 * units.MiB
+    rs = RingReduceScatter(topo, nbytes_total=total)
+    result = rs.run()
+    analytic = ring_rs_time(total, topo.system)
+    assert result.duration == pytest.approx(analytic, rel=0.15)
+
+
+def test_rs_scales_linearly_with_size():
+    times = []
+    for size in (4 * units.MiB, 16 * units.MiB):
+        env, topo = make_topo(4)
+        rs = RingReduceScatter(topo, nbytes_total=size)
+        times.append(rs.run().duration)
+    assert 3.0 < times[1] / times[0] < 4.6
+
+
+def test_rs_with_few_cus_is_slower():
+    """Figure 6's CU-sharing effect, now in the event simulator."""
+    env, topo = make_topo(4)
+    full = RingReduceScatter(topo, nbytes_total=8 * units.MiB).run().duration
+    env2, topo2 = make_topo(4)
+    squeezed = RingReduceScatter(
+        topo2, nbytes_total=8 * units.MiB, n_cus=8).run().duration
+    assert squeezed > full * 1.2
+
+
+def test_ag_completes_and_accounts():
+    env, topo = make_topo(4)
+    total = 4 * units.MiB
+    chunk = total / 4
+    ag = RingAllGather(topo, nbytes_total=total)
+    result = ag.run()
+    assert result.duration > 0
+    for gpu in topo.gpus:
+        assert gpu.mc.counters.get("ag.read") == pytest.approx(3 * chunk)
+        assert gpu.mc.counters.get("ag.write") == pytest.approx(3 * chunk)
+
+
+def test_ag_tracks_analytic_model():
+    env, topo = make_topo(4, quantum=64 * 1024)
+    total = 24 * units.MiB
+    result = RingAllGather(topo, nbytes_total=total).run()
+    analytic = ring_ag_time(total, topo.system)
+    assert result.duration == pytest.approx(analytic, rel=0.15)
+
+
+def test_all_reduce_is_sequential_rs_then_ag():
+    env, topo = make_topo(4)
+    ar = RingAllReduce(topo, nbytes_total=4 * units.MiB)
+    result = ar.run()
+    assert ar.rs_result is not None and ar.ag_result is not None
+    assert result.duration == pytest.approx(
+        ar.rs_result.duration + ar.ag_result.duration, rel=0.01)
+
+
+def test_rs_works_at_eight_gpus():
+    env, topo = make_topo(8)
+    result = RingReduceScatter(topo, nbytes_total=8 * units.MiB).run()
+    assert len(result.per_rank_end) == 8
+
+
+def test_rs_homogeneous_ranks_finish_together():
+    """All GPUs do identical work; completion skew should be tiny."""
+    env, topo = make_topo(4)
+    result = RingReduceScatter(topo, nbytes_total=8 * units.MiB).run()
+    ends = list(result.per_rank_end.values())
+    spread = max(ends) - min(ends)
+    assert spread < 0.05 * result.duration + 10_000

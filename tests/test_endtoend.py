@@ -1,0 +1,160 @@
+"""Unit tests for the end-to-end iteration model (repro.models.endtoend)."""
+
+import pytest
+
+from repro.config import table1_system
+from repro.models import zoo
+from repro.models.endtoend import (
+    Phase,
+    apply_sublayer_speedups,
+    attention_time,
+    gemm_time,
+    iteration_breakdown,
+)
+from repro.gpu.wavefront import GEMMShape
+
+
+def bd(model, tp, phase=Phase.TRAINING):
+    return iteration_breakdown(model, tp, table1_system(n_gpus=tp), phase)
+
+
+# ------------------------------------------------------------ operator costs
+
+def test_gemm_time_compute_bound_scales_with_flops():
+    system = table1_system()
+    small = gemm_time(GEMMShape(4096, 4096, 1024), system)
+    big = gemm_time(GEMMShape(4096, 4096, 4096), system)
+    assert 3.0 < (big - 2000) / (small - 2000) < 4.5
+
+
+def test_attention_time_decreases_with_tp():
+    system8 = table1_system(8)
+    model = zoo.megatron_gpt2()
+    assert attention_time(model, 16, system8) < attention_time(model, 8, system8)
+
+
+# --------------------------------------------------------------- breakdowns
+
+def test_breakdown_has_four_sliced_groups_in_training():
+    breakdown = bd(zoo.t_nlg(), 8)
+    groups = {op.group for op in breakdown.per_layer_ops if op.group}
+    assert groups == {"OP", "FC-2", "FC-1", "IP"}
+
+
+def test_prompt_phase_has_only_forward_groups():
+    breakdown = bd(zoo.t_nlg(), 8, Phase.PROMPT)
+    groups = {op.group for op in breakdown.per_layer_ops if op.group}
+    assert groups == {"OP", "FC-2"}
+
+
+def test_each_group_contains_gemm_rs_ag():
+    breakdown = bd(zoo.megatron_gpt2(), 8)
+    for group in ("OP", "FC-2", "FC-1", "IP"):
+        cats = sorted(op.category for op in breakdown.per_layer_ops
+                      if op.group == group)
+        assert cats == ["ag", "rs", "sliced-gemm"]
+
+
+def test_total_time_scales_with_layers():
+    breakdown = bd(zoo.t_nlg(), 8)
+    assert breakdown.total_time() == pytest.approx(
+        breakdown.layer_time() * 78)
+
+
+def test_comm_fraction_in_paper_band():
+    """Section 2.4: Mega-GPT-2 / T-NLG spend up to 34% / 43% of time on
+    communication; very large models up to 46%."""
+    for model, tp, hi in [
+        (zoo.megatron_gpt2(), 8, 0.40), (zoo.megatron_gpt2(), 16, 0.45),
+        (zoo.t_nlg(), 8, 0.48), (zoo.t_nlg(), 16, 0.52),
+    ]:
+        for phase in (Phase.TRAINING, Phase.PROMPT):
+            frac = bd(model, tp, phase).comm_fraction()
+            assert 0.10 < frac < hi, (model.name, tp, phase, frac)
+
+
+def test_large_model_comm_fraction():
+    for model in zoo.large_models():
+        frac = bd(model, 32, Phase.PROMPT).comm_fraction()
+        assert 0.15 < frac < 0.55
+
+
+def test_futuristic_models_communication_heavy():
+    frac_1t = bd(zoo.future_1t(), 64, Phase.PROMPT).comm_fraction()
+    assert 0.2 < frac_1t < 0.6
+
+
+def test_attention_fraction_matches_unfused_mlperf_claim():
+    """Section 6.3: non-fused attention is 40-45% of (prompt) execution.
+
+    We accept a 30-50% band across the two small models."""
+    for model in zoo.small_models():
+        frac = bd(model, 8, Phase.PROMPT).attention_fraction()
+        assert 0.28 < frac < 0.52, (model.name, frac)
+
+
+def test_sliced_fraction_exceeds_comm_fraction():
+    breakdown = bd(zoo.t_nlg(), 8)
+    assert breakdown.sliced_fraction() > breakdown.comm_fraction()
+    assert breakdown.sliced_fraction() < 0.8
+
+
+def test_category_times_sum_to_total():
+    breakdown = bd(zoo.megatron_gpt2(), 16)
+    assert sum(breakdown.time_by_category().values()) == pytest.approx(
+        breakdown.total_time())
+
+
+def test_tp_mismatch_rejected():
+    with pytest.raises(ValueError, match="n_gpus=tp"):
+        iteration_breakdown(zoo.t_nlg(), 8, table1_system(n_gpus=16))
+    with pytest.raises(ValueError):
+        iteration_breakdown(zoo.t_nlg(), 1, table1_system(n_gpus=8))
+
+
+# ------------------------------------------------------------------ speedups
+
+def test_apply_speedups_identity():
+    breakdown = bd(zoo.t_nlg(), 8)
+    assert apply_sublayer_speedups(breakdown, {}) == pytest.approx(1.0)
+    assert apply_sublayer_speedups(
+        breakdown, {g: 1.0 for g in ("OP", "FC-2", "FC-1", "IP")}
+    ) == pytest.approx(1.0)
+
+
+def test_apply_speedups_bounded_by_group_share():
+    breakdown = bd(zoo.t_nlg(), 8)
+    share = breakdown.sliced_fraction()
+    huge = apply_sublayer_speedups(
+        breakdown, {g: 1e9 for g in ("OP", "FC-2", "FC-1", "IP")})
+    # Amdahl: even infinite sub-layer speedup is capped by the share.
+    assert huge == pytest.approx(1.0 / (1.0 - share), rel=1e-3)
+
+
+def test_apply_speedups_realistic_band():
+    """A ~1.3x sub-layer speedup must land end-to-end in the paper's
+    Figure 19 ballpark (7-15%)."""
+    for phase in (Phase.TRAINING, Phase.PROMPT):
+        breakdown = bd(zoo.t_nlg(), 16, phase)
+        e2e = apply_sublayer_speedups(
+            breakdown, {g: 1.3 for g in ("OP", "FC-2", "FC-1", "IP")})
+        assert 1.04 < e2e < 1.25, (phase, e2e)
+
+
+def test_prompt_speedup_exceeds_training_speedup():
+    """Section 6.3: inference benefits more (no AR-free backprop work).
+
+    Holds when the same sub-layer speedup is applied to both phases."""
+    speedups = {g: 1.3 for g in ("OP", "FC-2", "FC-1", "IP")}
+    train = apply_sublayer_speedups(bd(zoo.t_nlg(), 16), speedups)
+    prompt = apply_sublayer_speedups(
+        bd(zoo.t_nlg(), 16, Phase.PROMPT),
+        {g: 1.3 for g in ("OP", "FC-2")})
+    # Prompt applies to fwd groups only but over a fwd-only denominator.
+    assert prompt > 1.0 and train > 1.0
+
+
+def test_apply_speedups_validation():
+    breakdown = bd(zoo.t_nlg(), 8)
+    with pytest.raises(ValueError):
+        apply_sublayer_speedups(breakdown, {"OP": 0.0})

@@ -1,0 +1,184 @@
+"""Tests for the per-figure experiment runners.
+
+Heavier sweeps are exercised with reduced case lists (monkeypatched
+``default_cases``); the benchmark suite runs them at full fast-mode
+breadth.
+"""
+
+import pytest
+
+from repro.experiments import (
+    figure4,
+    figure6,
+    figure15,
+    figure16,
+    figure17,
+    figure18,
+    tables,
+    validation,
+)
+from repro.experiments import sublayer_sweep
+from repro.models import zoo
+
+
+@pytest.fixture()
+def tiny_sweep(monkeypatch):
+    """Shrink the sweep grid to two representative cases."""
+    def two_cases(large=False):
+        model = zoo.gpt3() if large else zoo.t_nlg()
+        tp = 32 if large else 8
+        return [model.sublayer("OP", tp), model.sublayer("FC-2", tp)]
+
+    monkeypatch.setattr(sublayer_sweep, "default_cases", two_cases)
+    yield
+
+
+# ------------------------------------------------------------------ figure 4
+
+def test_figure4_rows_cover_all_models():
+    result = figure4.run()
+    models = {r.model for r in result.rows}
+    assert models == {m.name for m in zoo.all_models()}
+    assert all(0 < r.sliced_fraction < 0.8 for r in result.rows)
+    assert "Figure 4" in result.render()
+
+
+def test_figure4_comm_fractions_match_section_2_4():
+    result = figure4.run()
+    # "Mega-GPT-2 and T-NLG spend up to 34% and 43% ... on communication".
+    assert 0.25 < result.max_comm_fraction("Mega-GPT-2") < 0.45
+    assert 0.25 < result.max_comm_fraction("T-NLG") < 0.50
+    # Futuristic models stay communication-heavy (paper: up to 44%).
+    assert result.max_comm_fraction("Future-1T") > 0.3
+
+
+def test_figure4_prompt_is_more_comm_heavy_than_training():
+    result = figure4.run()
+    by_key = {(r.model, r.tp, r.phase): r for r in result.rows}
+    for model, tp in [("T-NLG", 8), ("Mega-GPT-2", 16)]:
+        assert by_key[(model, tp, "prompt")].comm_fraction > \
+            by_key[(model, tp, "training")].comm_fraction
+
+
+# ------------------------------------------------------------------ figure 6
+
+@pytest.fixture(scope="module")
+def fig6():
+    return figure6.run(fast=True)
+
+
+def test_figure6_splits_present(fig6):
+    splits = {r.split for r in fig6.rows}
+    assert splits == {"72-8", "64-16", "ideal"}
+
+
+def test_figure6_ar_slowdown_matches_paper(fig6):
+    """AR on 8 CUs slows ~1.4x; on 16 CUs only slightly (Section 3.2.1)."""
+    eight = [r.ar_slowdown for r in fig6.rows if r.split == "72-8"]
+    sixteen = [r.ar_slowdown for r in fig6.rows if r.split == "64-16"]
+    assert all(1.15 < s < 1.6 for s in eight)
+    assert all(s < 1.15 for s in sixteen)
+
+
+def test_figure6_ordering_of_potential_speedups(fig6):
+    """ideal > 64-16 > 72-8 in geomean, as in the paper's Figure 6."""
+    g_ideal = fig6.geomean_speedup("ideal")
+    g_6416 = fig6.geomean_speedup("64-16")
+    g_728 = fig6.geomean_speedup("72-8")
+    assert g_ideal > g_6416 > g_728
+    assert g_728 > 1.0
+
+
+# ----------------------------------------------------------------- figure 14
+
+def test_validation_tracks_reference():
+    result = validation.run(fast=True)
+    assert result.geomean_error < 0.15  # paper: 6%
+    assert "geomean error" in result.render()
+    # Linearity: time grows ~linearly with size.
+    simulated = [p.simulated_us for p in result.points]
+    sizes = [p.size_mib for p in result.points]
+    ratio = (simulated[-1] / simulated[0]) / (sizes[-1] / sizes[0])
+    assert 0.8 < ratio < 1.2
+
+
+# -------------------------------------------------------- figures 15/16/18
+
+def test_figure15_distribution(tiny_sweep):
+    result = figure15.run(fast=True)
+    assert len(result.rows) == 2
+    for row in result.rows:
+        assert row.gemm_fraction + row.rs_fraction + row.ag_fraction == \
+            pytest.approx(1.0)
+    # FC-2 is more GEMM-heavy than OP (Figure 15's visible pattern).
+    by_case = {r.case: r for r in result.rows}
+    op = next(v for k, v in by_case.items() if "/OP/" in k)
+    fc2 = next(v for k, v in by_case.items() if "/FC-2/" in k)
+    assert fc2.gemm_fraction > op.gemm_fraction
+    assert "Figure 15" in result.render()
+
+
+def test_figure16_speedups(tiny_sweep):
+    result = figure16.run(fast=True)
+    assert result.geomean("T3-MCA") > 1.1
+    assert result.geomean("Ideal-GEMM-RS-Overlap") >= result.geomean("T3") * 0.99
+    assert "Figure 16" in result.render()
+
+
+def test_figure18_reductions(tiny_sweep):
+    result = figure18.run(fast=True)
+    assert 0.05 < result.geomean_total_reduction() < 0.5
+    assert result.geomean_rs_read_ratio() > 1.5
+    assert result.geomean_gemm_read_ratio() >= 1.0
+    assert result.geomean_write_ratio() > 1.0
+    assert "Figure 18" in result.render()
+
+
+# ----------------------------------------------------------------- figure 17
+
+def test_figure17_timeline_shapes():
+    result = figure17.run(fast=True)
+    assert result.gemm_slowdown >= 1.0
+    base_reads = result.baseline_series["GEMM reads"]
+    assert base_reads.total > 0
+    # T3 adds RS traffic series that the baseline run does not have.
+    assert result.t3_series["RS updates"].total > 0
+    assert result.t3_series["RS reads"].total > 0
+    # Baseline GEMM has no plain writes in T3 (all NMC updates).
+    assert result.t3_series["GEMM updates"].total > 0
+    assert "Figure 17" in result.render()
+
+
+def test_figure17_write_phases_are_bursty():
+    """The baseline write series must be peaky (bursts at stage ends),
+    i.e. peak bin >> mean bin."""
+    result = figure17.run(fast=True)
+    writes = result.baseline_series["GEMM writes"]
+    nonzero = [b for b in writes.bytes_per_bin if b > 0]
+    mean = sum(writes.bytes_per_bin) / len(writes.bytes_per_bin)
+    assert writes.peak > 2.0 * mean
+    assert len(nonzero) < len(writes.bytes_per_bin)  # quiet gaps exist
+
+
+# ------------------------------------------------------------------- tables
+
+def test_table1_renders_paper_parameters():
+    text = tables.run_table1().render()
+    assert "80 @ 1.4 GHz" in text
+    assert "16 MiB" in text
+    assert "150 GB/s" in text
+    assert "256 entries" in text
+
+
+def test_table2_lists_all_models():
+    text = tables.run_table2().render()
+    for name in ("Mega-GPT-2", "T-NLG", "GPT-3", "PALM", "MT-NLG"):
+        assert name in text
+
+
+def test_table3_t3_dominates():
+    result = tables.run_table3()
+    assert result.dominates("T3-MCA")
+    for other in ("In-switch", "ACE", "CoCoNet", "Google Decomposition"):
+        assert not all(result.features[other])
+    assert "T3-MCA" in result.render()

@@ -1,0 +1,150 @@
+"""Unit tests for the GEMM kernel model (repro.gpu.gemm)."""
+
+import pytest
+
+from repro.config import table1_system
+from repro.gpu.gemm import GEMMKernel, GEMMResult, LocalWriteSink
+from repro.gpu.wavefront import GEMMShape, TileGrid
+from repro.interconnect.topology import RingTopology
+from repro.memory.cache import estimate_gemm_traffic
+from repro.sim import Environment
+
+
+def small_system(**fidelity):
+    defaults = dict(quantum_bytes=8 * 1024)
+    defaults.update(fidelity)
+    return table1_system(n_gpus=2).with_fidelity(**defaults)
+
+
+def make_kernel(system, m=512, n=512, k=256, n_cus=4, bypass=False,
+                **kwargs):
+    shape = GEMMShape(m, n, k)
+    grid = TileGrid(shape, system.gemm, n_cus=n_cus)
+    traffic = estimate_gemm_traffic(grid, system.memory, bypass_writes=bypass)
+    return GEMMKernel(grid, traffic, n_cus=n_cus, **kwargs)
+
+
+def run_kernel(system, kernel, policy="compute-priority"):
+    env = Environment()
+    topo = RingTopology(env, system, policy_name=policy)
+    gpu = topo.gpus[0]
+    proc = gpu.launch(kernel)
+    result = env.run_until_process(proc)
+    return env, gpu, result
+
+
+def test_kernel_runs_to_completion():
+    system = small_system()
+    kernel = make_kernel(system)
+    env, gpu, result = run_kernel(system, kernel)
+    assert isinstance(result, GEMMResult)
+    assert result.duration > 0
+    assert len(result.stage_ends) == kernel.grid.n_stages
+
+
+def test_writes_land_in_dram_counters():
+    system = small_system()
+    kernel = make_kernel(system)
+    _env, gpu, _result = run_kernel(system, kernel)
+    expected = kernel.grid.n_wgs * kernel.grid.wg_tile_bytes
+    assert gpu.mc.counters.get("gemm.write") == pytest.approx(expected)
+    assert gpu.mc.counters.get("gemm.read") == pytest.approx(
+        kernel.traffic.total_read_bytes)
+
+
+def test_compute_bound_gemm_duration_close_to_flop_time():
+    system = small_system()
+    # Large K makes the GEMM strongly compute bound.
+    kernel = make_kernel(system, m=256, n=256, k=8192, n_cus=2)
+    env, gpu, result = run_kernel(system, kernel)
+    flop_time = kernel.total_flops() / kernel.sustained_flops(gpu)
+    assert result.duration >= flop_time
+    assert result.duration <= flop_time * 1.5 + kernel.launch_overhead_ns * 2
+
+
+def test_memory_bound_gemm_limited_by_hbm():
+    system = small_system()
+    # Tiny K: traffic dominates compute.
+    kernel = make_kernel(system, m=2048, n=2048, k=8, n_cus=80)
+    env, gpu, result = run_kernel(system, kernel)
+    total_bytes = (kernel.traffic.total_read_bytes
+                   + kernel.traffic.total_write_bytes)
+    mem_time = total_bytes / system.memory.effective_bandwidth
+    assert result.duration >= mem_time * 0.8
+
+
+def test_halving_cus_roughly_doubles_compute_bound_time():
+    """The Figure 6 CU-sharing effect on the GEMM side."""
+    system = small_system()
+    slow = make_kernel(system, m=512, n=512, k=4096, n_cus=2)
+    fast = make_kernel(system, m=512, n=512, k=4096, n_cus=4)
+    _, _, slow_result = run_kernel(system, slow)
+    _, _, fast_result = run_kernel(system, fast)
+    ratio = slow_result.duration / fast_result.duration
+    assert 1.6 < ratio < 2.2
+
+
+def test_tp_slicing_shrinks_gemm_time_but_not_writes():
+    system = small_system()
+    full = make_kernel(system, k=4096, n_cus=4)
+    sliced_shape = GEMMShape(512, 512, 4096).tp_sliced(8)
+    grid = TileGrid(sliced_shape, system.gemm, n_cus=4)
+    traffic = estimate_gemm_traffic(grid, system.memory, bypass_writes=False)
+    sliced = GEMMKernel(grid, traffic, n_cus=4)
+    _, gpu_full, full_result = run_kernel(system, full)
+    _, gpu_sliced, sliced_result = run_kernel(system, sliced)
+    assert sliced_result.duration < full_result.duration
+    assert gpu_full.mc.counters.get("gemm.write") == pytest.approx(
+        gpu_sliced.mc.counters.get("gemm.write"))
+
+
+def test_stage_count_mismatch_rejected():
+    system = small_system()
+    shape = GEMMShape(512, 512, 256)
+    grid_a = TileGrid(shape, system.gemm, n_cus=4)
+    grid_b = TileGrid(GEMMShape(2048, 512, 256), system.gemm, n_cus=4)
+    traffic_b = estimate_gemm_traffic(grid_b, system.memory, False)
+    with pytest.raises(ValueError, match="stage count"):
+        GEMMKernel(grid_a, traffic_b)
+
+
+def test_mca_calibration_happens_after_first_stage():
+    system = small_system()
+    kernel = make_kernel(system, calibrate_mca=True)
+    env = Environment()
+    topo = RingTopology(env, system, policy_name="mca")
+    gpu = topo.gpus[0]
+    proc = gpu.launch(kernel)
+    env.run_until_process(proc)
+    for channel in gpu.mc.channels:
+        assert channel.policy.calibrations, "calibrate() never called"
+
+
+def test_launch_overhead_delays_start():
+    system = small_system()
+    kernel = make_kernel(system, launch_overhead_ns=5000.0)
+    env, gpu, result = run_kernel(system, kernel)
+    assert result.stage_ends[0] >= 5000.0
+
+
+def test_custom_sink_receives_every_stage():
+    system = small_system()
+
+    class RecordingSink(LocalWriteSink):
+        def __init__(self):
+            super().__init__()
+            self.stages = []
+            self.completed = False
+
+        def store_stage(self, gpu, kernel, stage):
+            self.stages.append(stage.index)
+            return super().store_stage(gpu, kernel, stage)
+
+        def on_kernel_complete(self, gpu, kernel):
+            self.completed = True
+
+    sink = RecordingSink()
+    kernel = make_kernel(system, sink=sink)
+    run_kernel(system, kernel)
+    assert sink.stages == list(range(kernel.grid.n_stages))
+    assert sink.completed

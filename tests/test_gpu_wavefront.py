@@ -1,0 +1,195 @@
+"""Unit tests for GEMM geometry (repro.gpu.wavefront)."""
+
+import pytest
+
+from repro.config import GEMMKernelConfig
+from repro.gpu.wavefront import GEMMShape, TileGrid, WavefrontTile, split_evenly
+
+
+KCFG = GEMMKernelConfig()  # 128x128 macro tiles, 4 WFs/WG, 1 WG/CU
+
+
+# ----------------------------------------------------------------- GEMMShape
+
+def test_shape_flops_and_bytes():
+    shape = GEMMShape(m=256, n=128, k=64)
+    assert shape.flops == 2 * 256 * 128 * 64
+    assert shape.a_bytes == 256 * 64 * 2
+    assert shape.b_bytes == 64 * 128 * 2
+    assert shape.output_bytes == 256 * 128 * 2
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        GEMMShape(0, 1, 1)
+    with pytest.raises(ValueError):
+        GEMMShape(1, 1, 1, element_bytes=0)
+
+
+def test_tp_slicing_preserves_output(subtests=None):
+    shape = GEMMShape(m=1024, n=1024, k=4096, name="fc2")
+    sliced = shape.tp_sliced(8)
+    assert sliced.k == 512
+    assert sliced.m == shape.m and sliced.n == shape.n
+    assert sliced.output_bytes == shape.output_bytes  # Figure 5 invariant
+    assert "tp8" in sliced.name
+
+
+def test_tp_slicing_validation():
+    shape = GEMMShape(4, 4, 4)
+    with pytest.raises(ValueError):
+        shape.tp_sliced(0)
+    with pytest.raises(ValueError):
+        shape.tp_sliced(8)  # k=4 cannot be sliced 8 ways
+
+
+# --------------------------------------------------------------- split_evenly
+
+def test_split_evenly_balanced():
+    assert split_evenly(10, 4) == [3, 3, 2, 2]
+    assert split_evenly(8, 4) == [2, 2, 2, 2]
+
+
+def test_split_evenly_validation():
+    with pytest.raises(ValueError):
+        split_evenly(3, 4)
+    with pytest.raises(ValueError):
+        split_evenly(3, 0)
+
+
+# ------------------------------------------------------------------ TileGrid
+
+def make_grid(m=1024, n=512, k=256, n_cus=4, n_chunks=1, offset=0,
+              stagger=True):
+    return TileGrid(GEMMShape(m, n, k), KCFG, n_cus=n_cus,
+                    n_chunks=n_chunks, chunk_offset=offset, stagger=stagger)
+
+
+def test_grid_tile_counts():
+    grid = make_grid(m=1024, n=512)
+    assert grid.tiles_m == 8
+    assert grid.tiles_n == 4
+    assert grid.n_wgs == 32
+    assert grid.wgs_per_stage == 4
+    assert grid.n_stages == 8
+
+
+def test_grid_ragged_edges_round_up():
+    grid = make_grid(m=1000, n=500)
+    assert grid.tiles_m == 8  # ceil(1000/128)
+    assert grid.tiles_n == 4
+
+
+def test_tp_slicing_keeps_grid_identical():
+    """Figure 5: slicing K changes per-WG work, not the WG grid/stages."""
+    full = make_grid(k=4096)
+    sliced = TileGrid(GEMMShape(1024, 512, 4096).tp_sliced(16), KCFG, n_cus=4)
+    assert (full.tiles_m, full.tiles_n) == (sliced.tiles_m, sliced.tiles_n)
+    assert full.n_stages == sliced.n_stages
+    assert full.n_wgs == sliced.n_wgs
+
+
+def test_wg_sequence_covers_all_wgs_exactly_once():
+    grid = make_grid(n_chunks=4)
+    wg_ids = [wg for wg, *_ in grid.wg_sequence()]
+    assert sorted(wg_ids) == list(range(grid.n_wgs))
+
+
+def test_chunk_ranges_partition_wgs():
+    grid = make_grid(n_chunks=4)
+    covered = []
+    for start, count in grid.chunk_ranges:
+        covered.extend(range(start, start + count))
+    assert covered == list(range(grid.n_wgs))
+
+
+def test_chunk_of_wg():
+    grid = make_grid(n_chunks=4)  # 32 WGs -> 8 per chunk
+    assert grid.chunk_of_wg(0) == 0
+    assert grid.chunk_of_wg(7) == 0
+    assert grid.chunk_of_wg(8) == 1
+    assert grid.chunk_of_wg(31) == 3
+    with pytest.raises(ValueError):
+        grid.chunk_of_wg(32)
+    assert grid.chunk_wgs(1) == list(range(8, 16))
+
+
+def test_sub_tile_row_chunking_supported():
+    """TP=32 on a 16-tile-row output (the paper's GPT-3 case) chunks at
+    sub-row granularity."""
+    grid = make_grid(m=2048, n=12288 // 4, n_chunks=32)
+    assert grid.n_chunks == 32
+    total = sum(grid.chunk_bytes_total(c) for c in range(32))
+    assert total == grid.n_wgs * grid.wg_tile_bytes
+
+
+def test_chunk_bytes_total_sums_to_output():
+    grid = make_grid(n_chunks=4)
+    total = sum(grid.chunk_bytes_total(c) for c in range(4))
+    # Tile-granular accounting: ragged edges count as full tiles.
+    assert total == grid.n_wgs * grid.wg_tile_bytes
+
+
+def test_staggered_chunk_order_rotates_with_rank():
+    """Each device starts with its ring successor's chunk and ends with its
+    own (Section 4.4 staggering)."""
+    for rank in range(4):
+        grid = make_grid(n_chunks=4, offset=rank)
+        order = grid.chunk_order()
+        assert order[0] == (rank + 1) % 4
+        assert order[-1] == rank
+        assert sorted(order) == [0, 1, 2, 3]
+
+
+def test_stagger_disabled_gives_identity_order():
+    grid = make_grid(n_chunks=4, offset=2, stagger=False)
+    assert grid.chunk_order() == [0, 1, 2, 3]
+
+
+def test_stages_partition_wgs():
+    grid = make_grid(n_chunks=4, offset=1)
+    stage_wgs = [wg for stage in grid.stages for wg in stage.wg_ids]
+    assert sorted(stage_wgs) == list(range(grid.n_wgs))
+    assert all(s.n_wgs <= grid.wgs_per_stage for s in grid.stages)
+
+
+def test_stage_chunk_bytes_sum_to_output():
+    grid = make_grid(n_chunks=4)
+    total = sum(stage.output_bytes for stage in grid.stages)
+    assert total == grid.n_wgs * grid.wg_tile_bytes
+
+
+def test_new_tile_rows_sum_to_tiles_m():
+    grid = make_grid(n_chunks=4, offset=3)
+    assert sum(s.new_tile_rows for s in grid.stages) == grid.tiles_m
+
+
+def test_stage_for_chunk_completion_monotonic_in_device_order():
+    grid = make_grid(n_chunks=4, offset=0)
+    order = grid.chunk_order()
+    completion = [grid.stage_for_chunk_completion(c) for c in order]
+    assert completion == sorted(completion)
+
+
+def test_wf_tiles_partition_wg_tile():
+    grid = make_grid()
+    tiles = grid.wf_tiles(wg_id=5, chunk_id=0)
+    assert len(tiles) == KCFG.wfs_per_wg
+    assert sum(t.nbytes for t in tiles) == grid.wg_tile_bytes
+    assert {t.wf_id for t in tiles} == set(range(KCFG.wfs_per_wg))
+
+
+def test_wavefront_tracker_index_and_tag():
+    tile = WavefrontTile(wg_id=300, wf_id=2, nbytes=8192, chunk_id=1)
+    assert tile.tracker_index(256) == 44  # 300 % 256
+    assert tile.tracker_tag(256) == (1, 2)  # 300 // 256
+
+
+def test_grid_validation():
+    with pytest.raises(ValueError):
+        make_grid(n_cus=0)
+    with pytest.raises(ValueError):
+        make_grid(n_chunks=0)
+    with pytest.raises(ValueError):
+        # 32 WG tiles cannot be chunked 64 ways.
+        make_grid(n_chunks=64)

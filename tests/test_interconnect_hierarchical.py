@@ -1,0 +1,73 @@
+"""Tests for the hierarchical (multi-node) ring topology (Section 7.8)."""
+
+import pytest
+
+from repro.collectives.baseline import RingReduceScatter
+from repro.config import table1_system
+from repro.gpu.wavefront import GEMMShape
+from repro.interconnect.topology import HierarchicalRingTopology, RingTopology
+from repro.sim import Environment, SimulationError
+from repro.t3.fusion import FusedGEMMRS
+from repro import units
+
+
+def make_hier(n_gpus=8, per_node=4, fraction=0.25, quantum=32 * 1024):
+    env = Environment()
+    system = table1_system(n_gpus=n_gpus).with_fidelity(quantum_bytes=quantum)
+    topo = HierarchicalRingTopology(env, system, gpus_per_node=per_node,
+                                    inter_node_fraction=fraction)
+    return env, topo
+
+
+def test_node_grouping():
+    env, topo = make_hier(8, 4)
+    assert topo.node_of(0) == 0
+    assert topo.node_of(3) == 0
+    assert topo.node_of(4) == 1
+    assert topo.is_inter_node(3, 4)
+    assert not topo.is_inter_node(1, 2)
+
+
+def test_cross_node_links_are_slower():
+    env, topo = make_hier(8, 4, fraction=0.25)
+    intra = topo.link(1, 0)
+    cross = topo.link(4, 3)
+    assert cross.bandwidth == pytest.approx(intra.bandwidth * 0.25)
+    assert cross.latency > intra.latency
+
+
+def test_validation():
+    env = Environment()
+    system = table1_system(n_gpus=8)
+    with pytest.raises(SimulationError):
+        HierarchicalRingTopology(env, system, gpus_per_node=3)
+    with pytest.raises(SimulationError):
+        HierarchicalRingTopology(env, system, gpus_per_node=4,
+                                 inter_node_fraction=0.0)
+
+
+def test_ring_rs_slower_on_hierarchical_ring():
+    """The slow hops pace the whole ring: every chunk crosses them."""
+    nbytes = 8 * units.MiB
+    env_f, flat = Environment(), None
+    flat_topo = RingTopology(env_f, table1_system(n_gpus=8).with_fidelity(
+        quantum_bytes=32 * 1024))
+    flat_time = RingReduceScatter(flat_topo, nbytes).run().duration
+    env_h, hier = make_hier(8, 4, fraction=0.25)
+    hier_time = RingReduceScatter(hier, nbytes).run().duration
+    assert hier_time > flat_time * 1.5
+
+
+def test_fused_gemm_rs_works_across_nodes():
+    """T3 fusion still completes and still hides the GEMM (Section 7.8:
+    'T3 can still provide benefits from hiding the GEMM execution')."""
+    env, topo = make_hier(8, 4, quantum=16 * 1024)
+    fused = FusedGEMMRS(topo, GEMMShape(2048, 1024, 1024), n_cus=8)
+    result = fused.run()
+    assert len(result.per_rank_terminal) == 8
+    # The fused span is at most GEMM + the exposed (slow) communication,
+    # and strictly less than GEMM + a full sequential hierarchical RS.
+    env_seq, topo_seq = make_hier(8, 4, quantum=16 * 1024)
+    seq_rs = RingReduceScatter(
+        topo_seq, nbytes_total=fused.shape.output_bytes).run().duration
+    assert result.duration < result.gemm_duration + seq_rs

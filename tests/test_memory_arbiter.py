@@ -1,0 +1,124 @@
+"""Unit tests for arbitration policies (repro.memory.arbiter)."""
+
+import pytest
+
+from repro.config import MCAConfig
+from repro.memory.arbiter import (
+    ArbiterState,
+    ComputePriorityPolicy,
+    MCAPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.memory.request import Stream
+
+
+def state(compute=0, comm=0, occupancy=0, capacity=32, now=0.0):
+    return ArbiterState(compute, comm, occupancy, capacity, now)
+
+
+# ----------------------------------------------------------------- factory
+
+def test_make_policy_dispatch():
+    assert isinstance(make_policy("round-robin"), RoundRobinPolicy)
+    assert isinstance(make_policy("compute-priority"), ComputePriorityPolicy)
+    assert isinstance(make_policy("mca", MCAConfig()), MCAPolicy)
+
+
+def test_make_policy_errors():
+    with pytest.raises(ValueError):
+        make_policy("mca")  # missing config
+    with pytest.raises(ValueError):
+        make_policy("nonsense")
+
+
+# -------------------------------------------------------------- round-robin
+
+def test_round_robin_alternates():
+    policy = RoundRobinPolicy()
+    first = policy.choose(state(compute=1, comm=1))
+    policy.on_issue(first, 0)
+    second = policy.choose(state(compute=1, comm=1))
+    assert {first, second} == {Stream.COMPUTE, Stream.COMM}
+
+
+def test_round_robin_falls_back_when_empty():
+    policy = RoundRobinPolicy()
+    policy.on_issue(Stream.COMM, 0)
+    # Preferred is compute, but compute queue is empty -> comm again.
+    assert policy.choose(state(compute=0, comm=3)) is Stream.COMM
+    assert policy.choose(state(compute=0, comm=0)) is None
+
+
+# --------------------------------------------------------- compute-priority
+
+def test_compute_priority_always_prefers_compute():
+    policy = ComputePriorityPolicy()
+    assert policy.choose(state(compute=1, comm=9)) is Stream.COMPUTE
+    assert policy.choose(state(compute=0, comm=9)) is Stream.COMM
+    assert policy.choose(state()) is None
+
+
+# ---------------------------------------------------------------------- MCA
+
+def test_mca_defaults_to_most_conservative_threshold():
+    policy = MCAPolicy(MCAConfig())
+    assert policy.threshold == 5
+
+
+def test_mca_calibration_maps_intensity_to_threshold():
+    cfg = MCAConfig()
+    policy = MCAPolicy(cfg)
+    policy.calibrate(0.9)
+    assert policy.threshold == 5  # memory hungry -> strict gate
+    policy.calibrate(0.6)
+    assert policy.threshold == 10
+    policy.calibrate(0.3)
+    assert policy.threshold == 30
+    policy.calibrate(0.1)
+    assert policy.threshold is None  # compute bound -> unlimited
+
+
+def test_mca_calibration_rejects_negative():
+    policy = MCAPolicy(MCAConfig())
+    with pytest.raises(ValueError):
+        policy.calibrate(-0.1)
+
+
+def test_mca_gates_comm_on_occupancy():
+    policy = MCAPolicy(MCAConfig())
+    policy.calibrate(0.9)  # threshold 5
+    # Compute empty, comm waiting, occupancy below threshold -> comm.
+    assert policy.choose(state(comm=2, occupancy=4)) is Stream.COMM
+    # Occupancy at threshold -> comm is held back.
+    assert policy.choose(state(comm=2, occupancy=5)) is None
+    assert policy.choose(state(comm=2, occupancy=20)) is None
+
+
+def test_mca_unlimited_threshold_never_gates():
+    policy = MCAPolicy(MCAConfig())
+    policy.calibrate(0.05)  # threshold None
+    assert policy.choose(state(comm=1, occupancy=31)) is Stream.COMM
+
+
+def test_mca_compute_always_wins_when_not_starved():
+    policy = MCAPolicy(MCAConfig())
+    assert policy.choose(state(compute=1, comm=5, occupancy=0)) is Stream.COMPUTE
+
+
+def test_mca_starvation_promotes_comm():
+    cfg = MCAConfig(starvation_limit_ns=100.0)
+    policy = MCAPolicy(cfg)
+    policy.on_issue(Stream.COMM, now=0.0)
+    # Before the limit: compute wins.
+    assert policy.choose(state(compute=1, comm=1, now=50.0)) is Stream.COMPUTE
+    # After the limit: comm is force-issued despite compute waiting.
+    assert policy.choose(state(compute=1, comm=1, now=200.0)) is Stream.COMM
+    policy.on_issue(Stream.COMM, now=200.0)
+    # Timer reset.
+    assert policy.choose(state(compute=1, comm=1, now=250.0)) is Stream.COMPUTE
+
+
+def test_mca_idle_returns_none():
+    policy = MCAPolicy(MCAConfig())
+    assert policy.choose(state()) is None

@@ -1,0 +1,96 @@
+"""Unit tests for the LLC traffic model (repro.memory.cache)."""
+
+import dataclasses
+
+import pytest
+
+from repro import units
+from repro.config import GEMMKernelConfig, MemoryConfig
+from repro.gpu.wavefront import GEMMShape, TileGrid
+from repro.memory.cache import estimate_gemm_traffic, input_budget
+
+
+KCFG = GEMMKernelConfig()
+MEM = MemoryConfig()
+
+
+def grid_for(m, n, k, n_cus=80):
+    return TileGrid(GEMMShape(m, n, k), KCFG, n_cus=n_cus)
+
+
+def test_input_budget_doubles_with_bypass():
+    assert input_budget(MEM, bypass_writes=False) == 8 * units.MiB
+    assert input_budget(MEM, bypass_writes=True) == 16 * units.MiB
+
+
+def test_writes_equal_output_bytes():
+    grid = grid_for(1024, 1024, 512, n_cus=4)
+    traffic = estimate_gemm_traffic(grid, MEM, bypass_writes=False)
+    assert traffic.total_write_bytes == pytest.approx(
+        grid.n_wgs * grid.wg_tile_bytes
+    )
+    assert traffic.n_stages == grid.n_stages
+
+
+def test_small_gemm_reads_just_inputs_once():
+    """An LLC-resident GEMM reads A and B from DRAM exactly once (the
+    paper's OP-layer behaviour, Section 6.1.2)."""
+    grid = grid_for(1024, 1024, 256, n_cus=4)
+    traffic = estimate_gemm_traffic(grid, MEM, bypass_writes=True)
+    shape = grid.shape
+    assert traffic.hit_probability == pytest.approx(1.0)
+    assert traffic.total_read_bytes <= (shape.a_bytes + shape.b_bytes) * 1.01
+
+
+def test_large_b_panel_causes_rereads():
+    """When B exceeds the input budget, stages re-read it from DRAM."""
+    # B = 4096x8192x2B = 64 MiB >> 16 MiB LLC.
+    grid = grid_for(16384, 8192, 4096, n_cus=80)
+    traffic = estimate_gemm_traffic(grid, MEM, bypass_writes=False)
+    shape = grid.shape
+    assert traffic.hit_probability < 0.2
+    assert traffic.total_read_bytes > (shape.a_bytes + shape.b_bytes) * 1.5
+
+
+def test_bypass_writes_reduces_reads():
+    """T3's LLC write bypass frees input capacity -> fewer DRAM re-reads
+    (the Figure 18 GEMM-read reduction)."""
+    # B = 2048*2048*2 = 8 MiB: fits in 16 MiB (bypass) but not in the
+    # 8 MiB baseline input share alongside the A strip.
+    grid = grid_for(16384, 2048, 2048, n_cus=80)
+    base = estimate_gemm_traffic(grid, MEM, bypass_writes=False)
+    bypassed = estimate_gemm_traffic(grid, MEM, bypass_writes=True)
+    assert bypassed.total_read_bytes < base.total_read_bytes
+    ratio = base.total_read_bytes / bypassed.total_read_bytes
+    assert 1.05 < ratio < 4.0  # paper reports 1.2x-2x per TP degree
+
+
+def test_reads_never_below_compulsory():
+    grid = grid_for(4096, 4096, 1024, n_cus=80)
+    for bypass in (False, True):
+        traffic = estimate_gemm_traffic(grid, MEM, bypass_writes=bypass)
+        shape = grid.shape
+        assert traffic.total_read_bytes >= (shape.a_bytes + shape.b_bytes) * 0.99
+
+
+def test_reuse_window_caps_rereads():
+    small_window = dataclasses.replace(MEM, llc_reuse_window_stages=1)
+    big_window = dataclasses.replace(MEM, llc_reuse_window_stages=100)
+    grid = grid_for(16384, 8192, 4096, n_cus=80)
+    small = estimate_gemm_traffic(grid, small_window, bypass_writes=False)
+    big = estimate_gemm_traffic(grid, big_window, bypass_writes=False)
+    assert small.total_read_bytes < big.total_read_bytes
+
+
+def test_per_stage_reads_positive_and_finite():
+    grid = grid_for(2048, 2048, 512, n_cus=8)
+    traffic = estimate_gemm_traffic(grid, MEM, bypass_writes=False)
+    assert all(r >= 0 for r in traffic.stage_read_bytes)
+    assert traffic.stage_read_bytes[0] > 0  # compulsory misses up front
+
+
+def test_first_stage_dominated_by_compulsory_misses():
+    grid = grid_for(8192, 4096, 2048, n_cus=80)
+    traffic = estimate_gemm_traffic(grid, MEM, bypass_writes=False)
+    # First stage reads the full B panel (all columns first touched).
+    assert traffic.stage_read_bytes[0] >= grid.shape.b_bytes

@@ -1,0 +1,152 @@
+"""Unit tests for the HBM channel model (repro.memory.dram)."""
+
+import pytest
+
+from repro.memory.arbiter import ComputePriorityPolicy, MCAPolicy, RoundRobinPolicy
+from repro.memory.dram import HBMChannel
+from repro.memory.request import AccessKind, MemRequest, Stream
+from repro.config import MCAConfig
+from repro.sim import Environment
+
+
+def make_channel(env, bw=100.0, depth=4, ccdwl=2.0, policy=None, on_serviced=None):
+    return HBMChannel(
+        env, channel_id=0, bandwidth_bytes_per_ns=bw, queue_depth=depth,
+        ccdwl_factor=ccdwl, policy=policy or ComputePriorityPolicy(),
+        on_serviced=on_serviced,
+    )
+
+
+def req(kind=AccessKind.READ, stream=Stream.COMPUTE, nbytes=1000, label="gemm"):
+    return MemRequest(kind=kind, stream=stream, nbytes=nbytes, label=label)
+
+
+def test_single_request_service_time():
+    env = Environment()
+    channel = make_channel(env, bw=100.0)
+    r = req(nbytes=1000)  # 10 ns at 100 B/ns
+    channel.submit(r)
+    env.run()
+    assert r.serviced_at == pytest.approx(10.0)
+    assert channel.bytes_serviced == 1000
+    assert channel.busy_time == pytest.approx(10.0)
+
+
+def test_update_pays_ccdwl_penalty():
+    env = Environment()
+    channel = make_channel(env, bw=100.0, ccdwl=2.0)
+    write = req(kind=AccessKind.WRITE, nbytes=1000)
+    update = req(kind=AccessKind.UPDATE, nbytes=1000)
+    assert channel.service_time(write) == pytest.approx(10.0)
+    assert channel.service_time(update) == pytest.approx(20.0)
+
+
+def test_requests_serviced_fifo_within_stream():
+    env = Environment()
+    channel = make_channel(env)
+    done_order = []
+    requests = [req(nbytes=100) for _ in range(5)]
+    for i, r in enumerate(requests):
+        channel.submit(r)
+        r.done.add_callback(lambda ev, i=i: done_order.append(i))
+    env.run()
+    assert done_order == [0, 1, 2, 3, 4]
+
+
+def test_compute_priority_starves_comm_under_load():
+    env = Environment()
+    channel = make_channel(env, policy=ComputePriorityPolicy())
+    comm = req(stream=Stream.COMM, nbytes=100, label="rs")
+    channel.submit(comm)
+    computes = [req(nbytes=100) for _ in range(10)]
+    for r in computes:
+        channel.submit(r)
+    env.run()
+    # Comm was submitted first and wins the first issue slot, but any
+    # compute requests present thereafter go ahead of nothing -- with
+    # compute-priority the comm request issued at t=0 only because compute
+    # queue was empty at submission time.
+    assert comm.serviced_at is not None
+    assert all(r.serviced_at is not None for r in computes)
+
+
+def test_dram_queue_backpressure_limits_occupancy():
+    env = Environment()
+    channel = make_channel(env, bw=1.0, depth=2)
+    for _ in range(10):
+        channel.submit(req(nbytes=100))
+    env.run(until=50)
+    # At most depth + 1 requests can be issued+in-service at once.
+    assert channel.dram_occupancy <= 3
+    env.run()
+    assert channel.idle
+
+
+def test_mca_channel_holds_comm_while_compute_flows():
+    env = Environment()
+    policy = MCAPolicy(MCAConfig(starvation_limit_ns=1e9))
+    policy.calibrate(0.9)  # strict threshold 5
+    channel = make_channel(env, bw=1.0, depth=16, policy=policy)
+
+    compute_reqs = [req(nbytes=50) for _ in range(8)]
+    comm_reqs = [req(stream=Stream.COMM, nbytes=50, label="rs")
+                 for _ in range(8)]
+    for r in compute_reqs + comm_reqs:
+        channel.submit(r)
+    env.run()
+    last_compute = max(r.serviced_at for r in compute_reqs)
+    first_comm = min(r.serviced_at for r in comm_reqs)
+    # All compute requests finish before any comm request is serviced:
+    # occupancy stays >= threshold while compute floods the queue.
+    assert first_comm > last_compute
+
+
+def test_round_robin_interleaves_streams():
+    env = Environment()
+    channel = make_channel(env, bw=1.0, depth=2, policy=RoundRobinPolicy())
+    compute_reqs = [req(nbytes=10) for _ in range(4)]
+    comm_reqs = [req(stream=Stream.COMM, nbytes=10, label="rs")
+                 for _ in range(4)]
+    for pair in zip(compute_reqs, comm_reqs):
+        for r in pair:
+            channel.submit(r)
+    env.run()
+    # Comm is not starved: its last service is interleaved, not after all
+    # compute requests.
+    assert max(r.serviced_at for r in comm_reqs) <= \
+        max(r.serviced_at for r in compute_reqs) + 10
+
+
+def test_on_serviced_callback_fires_per_request():
+    env = Environment()
+    seen = []
+    channel = make_channel(env, on_serviced=lambda r: seen.append(r.req_id))
+    submitted = [req(nbytes=10) for _ in range(3)]
+    for r in submitted:
+        channel.submit(r)
+    env.run()
+    assert seen == [r.req_id for r in submitted]
+
+
+def test_channel_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        make_channel(env, bw=0)
+    with pytest.raises(ValueError):
+        make_channel(env, depth=0)
+    with pytest.raises(ValueError):
+        make_channel(env, ccdwl=0.5)
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        req(nbytes=0)
+
+
+def test_utilization_accounting():
+    env = Environment()
+    channel = make_channel(env, bw=10.0)
+    channel.submit(req(nbytes=100))  # 10 ns busy
+    env.run()
+    assert channel.utilization(20.0) == pytest.approx(0.5)
+    assert channel.utilization(0) == 0.0

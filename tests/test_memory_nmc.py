@@ -1,0 +1,82 @@
+"""Unit tests for NMC functional invariants (repro.memory.nmc)."""
+
+import pytest
+
+from repro.memory.nmc import ChunkLedger, ReductionBuffer, ReductionError
+
+
+def make_buffer(n_chunks=4, nbytes=1000, expected=2):
+    return ReductionBuffer({i: nbytes for i in range(n_chunks)}, expected)
+
+
+def test_whole_contributions_complete_chunk():
+    buf = make_buffer(expected=2)
+    buf.contribute_whole(0, "local-gemm")
+    assert not buf.is_complete(0)
+    buf.contribute_whole(0, "dma-in")
+    assert buf.is_complete(0)
+
+
+def test_seal_requires_completion():
+    buf = make_buffer(expected=2)
+    buf.contribute_whole(1, "local-gemm")
+    with pytest.raises(ReductionError, match="too early"):
+        buf.seal(1)
+    buf.contribute_whole(1, "dma-in")
+    buf.seal(1)
+
+
+def test_contribution_after_seal_is_a_race():
+    buf = make_buffer(expected=1)
+    buf.contribute_whole(2, "local-gemm")
+    buf.seal(2)
+    with pytest.raises(ReductionError, match="after"):
+        buf.contribute_whole(2, "late-dma")
+
+
+def test_too_many_contributions_detected():
+    buf = make_buffer(expected=1)
+    buf.contribute_whole(0, "a")
+    with pytest.raises(ReductionError, match="expected 1"):
+        buf.contribute_whole(0, "b")
+
+
+def test_partial_contributions_accumulate_bytes():
+    buf = make_buffer(nbytes=1000, expected=2)
+    # First whole-chunk contribution arrives in 4 quanta.
+    for _ in range(4):
+        buf.contribute(3, 250, "local-gemm")
+    assert buf.ledgers[3].contribution_count == 1
+    for _ in range(4):
+        buf.contribute(3, 250, "dma-in")
+    assert buf.is_complete(3)
+    buf.seal(3)
+
+
+def test_unknown_chunk_rejected():
+    buf = make_buffer(n_chunks=2)
+    with pytest.raises(ReductionError, match="unknown"):
+        buf.contribute_whole(9, "x")
+
+
+def test_all_sealed_and_summary():
+    buf = make_buffer(n_chunks=2, expected=1)
+    buf.contribute_whole(0, "a")
+    buf.seal(0)
+    assert not buf.all_sealed()
+    buf.contribute_whole(1, "a")
+    buf.seal(1)
+    assert buf.all_sealed()
+    assert buf.summary() == [(0, 1, True), (1, 1, True)]
+
+
+def test_expected_contributions_validation():
+    with pytest.raises(ReductionError):
+        ReductionBuffer({0: 10}, expected_contributions=0)
+
+
+def test_ledger_properties():
+    ledger = ChunkLedger(chunk_id=0, expected_contributions=2, nbytes=100)
+    assert not ledger.complete
+    ledger.contributions.extend(["a", "b"])
+    assert ledger.complete

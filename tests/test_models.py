@@ -1,0 +1,110 @@
+"""Unit tests for the model zoo and sub-layer derivations."""
+
+import pytest
+
+from repro import units
+from repro.models import zoo
+from repro.models.transformer import AR_SUBLAYERS, TransformerConfig
+
+
+def test_table2_hyperparameters():
+    m = zoo.megatron_gpt2()
+    assert (m.hidden, m.n_layers, m.seq_len, m.batch) == (3072, 74, 1024, 16)
+    t = zoo.t_nlg()
+    assert (t.hidden, t.n_layers, t.seq_len, t.batch) == (4256, 78, 1024, 8)
+    g = zoo.gpt3()
+    assert (g.hidden, g.n_layers) == (12288, 96)
+    assert zoo.palm().hidden == 18432
+    assert zoo.mt_nlg().hidden == 20480
+
+
+def test_tokens_match_paper_setup():
+    """Mega-GPT-2: 16K input tokens; T-NLG: 8K (Section 5.2)."""
+    assert zoo.megatron_gpt2().tokens == 16 * 1024
+    assert zoo.t_nlg().tokens == 8 * 1024
+
+
+def test_parameter_counts_are_in_the_advertised_range():
+    assert 1.2e9 < zoo.megatron_gpt2().n_parameters < 1.2e10
+    assert 1.5e11 < zoo.gpt3().n_parameters < 2.2e11      # ~175B
+    assert 4.0e11 < zoo.palm().n_parameters < 6.0e11      # ~530B
+    assert 4.5e11 < zoo.mt_nlg().n_parameters < 6.5e11    # ~540B
+    assert 0.8e12 < zoo.future_1t().n_parameters < 1.5e12
+    assert 0.7e13 < zoo.future_10t().n_parameters < 1.3e13
+
+
+def test_tp_setups_match_table2():
+    assert zoo.TP_SETUPS["Mega-GPT-2"] == (8, 16)
+    assert zoo.TP_SETUPS["T-NLG"] == (8, 16)
+    for big in ("GPT-3", "PALM", "MT-NLG"):
+        assert zoo.TP_SETUPS[big] == (32,)
+    assert zoo.TP_SETUPS["Future-1T"] == (64,)
+
+
+def test_zoo_lookups():
+    assert zoo.by_name("T-NLG").name == "T-NLG"
+    with pytest.raises(ValueError):
+        zoo.by_name("BERT")
+    assert len(zoo.table2_models()) == 5
+    assert len(zoo.small_models()) == 2
+    assert len(zoo.large_models()) == 3
+    assert {m.name for m in zoo.all_models()} >= {"GPT-3", "Future-10T"}
+
+
+# ------------------------------------------------------------------ sublayers
+
+def test_sublayer_shapes_follow_megatron_slicing():
+    model = zoo.t_nlg()
+    t = model.tokens
+    h = model.hidden
+    op = model.sublayer("OP", tp=8)
+    assert (op.gemm.m, op.gemm.n, op.gemm.k) == (t, h, h // 8)
+    assert op.phase == "fwd"
+    fc2 = model.sublayer("FC-2", tp=8)
+    assert fc2.gemm.k == 4 * h // 8
+    fc1 = model.sublayer("FC-1", tp=16)
+    assert fc1.gemm.k == 4 * h // 16
+    assert fc1.phase == "bwd"
+    ip = model.sublayer("IP", tp=8)
+    assert ip.gemm.k == 3 * h // 8
+
+
+def test_ar_payload_is_activation_tensor():
+    model = zoo.megatron_gpt2()
+    for name in AR_SUBLAYERS:
+        sub = model.sublayer(name, tp=8)
+        assert sub.comm_bytes == model.tokens * model.hidden * 2
+    # Mega-GPT-2: 16K x 3072 x 2B = 96 MiB all-reduce.
+    assert model.sublayer("OP", 8).comm_bytes == 96 * units.MiB
+
+
+def test_sublayer_output_is_tp_invariant():
+    """Figure 5: slicing changes K only."""
+    model = zoo.t_nlg()
+    a = model.sublayer("FC-2", tp=8).gemm
+    b = model.sublayer("FC-2", tp=16).gemm
+    assert a.output_bytes == b.output_bytes
+    assert a.k == 2 * b.k
+
+
+def test_ar_sublayers_order_and_count():
+    subs = zoo.megatron_gpt2().ar_sublayers(tp=8)
+    assert [s.name for s in subs] == ["OP", "FC-2", "FC-1", "IP"]
+    assert all(s.occurrences_per_iteration == 74 for s in subs)
+
+
+def test_sublayer_validation():
+    model = zoo.megatron_gpt2()
+    with pytest.raises(ValueError):
+        model.sublayer("FC-3", 8)
+    with pytest.raises(ValueError):
+        model.sublayer("OP", 1)
+    with pytest.raises(ValueError):
+        model.sublayer("OP", 7)  # H=3072 not divisible by 7
+    with pytest.raises(ValueError):
+        TransformerConfig("bad", hidden=0, n_layers=1, seq_len=1, batch=1)
+
+
+def test_sublayer_labels():
+    sub = zoo.t_nlg().sublayer("FC-1", 16)
+    assert sub.label == "T-NLG/FC-1/TP16"

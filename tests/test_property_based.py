@@ -1,0 +1,278 @@
+"""Property-based tests (hypothesis) on core structures and invariants.
+
+These cover the algebra the whole reproduction leans on: tiling/chunking
+partitions, ring-schedule coverage, Tracker counting, cache-model
+monotonicity, and the stats reducers.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.schedule import (
+    chunk_sizes,
+    ring_ag_schedule,
+    ring_rs_schedule,
+)
+from repro.config import GEMMKernelConfig, MemoryConfig, TrackerConfig
+from repro.gpu.wavefront import GEMMShape, TileGrid, split_evenly
+from repro.memory.cache import estimate_gemm_traffic
+from repro.memory.request import AccessKind, MemRequest, Stream
+from repro.sim.stats import geomean, weighted_mean
+from repro.t3.address_map import AddressSpaceConfig, RouteKind
+from repro.t3.tracker import Tracker
+
+KCFG = GEMMKernelConfig()
+
+
+# ------------------------------------------------------------- split_evenly
+
+@given(total=st.integers(1, 10_000), parts=st.integers(1, 64))
+def test_split_evenly_properties(total, parts):
+    if total < parts:
+        with pytest.raises(ValueError):
+            split_evenly(total, parts)
+        return
+    out = split_evenly(total, parts)
+    assert sum(out) == total
+    assert len(out) == parts
+    assert max(out) - min(out) <= 1
+    assert out == sorted(out, reverse=True)  # larger parts first
+
+
+# ----------------------------------------------------------------- TileGrid
+
+grid_strategy = st.builds(
+    dict,
+    m=st.integers(128, 4096),
+    n=st.integers(128, 2048),
+    k=st.integers(32, 1024),
+    n_cus=st.integers(1, 16),
+    n_chunks=st.sampled_from([1, 2, 4, 8]),
+    offset=st.integers(0, 7),
+    stagger=st.booleans(),
+)
+
+
+def _make_grid(params):
+    """Build a grid, returning None when the chunking is infeasible
+    (fewer WG tiles than chunks — a validated error path)."""
+    from hypothesis import assume
+
+    offset = params.pop("offset")
+    shape = GEMMShape(params.pop("m"), params.pop("n"), params.pop("k"))
+    n_chunks = params.pop("n_chunks")
+    stagger = params.pop("stagger", True)
+    tiles = (math.ceil(shape.m / KCFG.macro_tile_m)
+             * math.ceil(shape.n / KCFG.macro_tile_n))
+    assume(tiles >= n_chunks)
+    return TileGrid(shape, KCFG, n_cus=params.pop("n_cus"),
+                    n_chunks=n_chunks, chunk_offset=offset,
+                    stagger=stagger), offset
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=grid_strategy)
+def test_tilegrid_partitions(params):
+    grid, offset = _make_grid(params)
+    # Every WG appears exactly once across the device enumeration.
+    wgs = [wg for wg, *_ in grid.wg_sequence()]
+    assert sorted(wgs) == list(range(grid.n_wgs))
+    # Stages partition the WGs.
+    stage_wgs = [wg for s in grid.stages for wg in s.wg_ids]
+    assert sorted(stage_wgs) == list(range(grid.n_wgs))
+    # Chunks partition the WGs and byte totals agree.
+    total = sum(grid.chunk_bytes_total(c) for c in range(grid.n_chunks))
+    assert total == grid.n_wgs * grid.wg_tile_bytes
+    # Chunk order is a permutation ending in the device's own chunk.
+    order = grid.chunk_order()
+    assert sorted(order) == list(range(grid.n_chunks))
+    if grid.stagger and grid.n_chunks > 1:
+        assert order[-1] == offset % grid.n_chunks
+    # A-row coverage: every tile row is new exactly once.
+    assert sum(s.new_tile_rows for s in grid.stages) == grid.tiles_m
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=grid_strategy)
+def test_tilegrid_chunk_completion_monotonic(params):
+    params["stagger"] = True
+    grid, _offset = _make_grid(params)
+    order = grid.chunk_order()
+    completion = [grid.stage_for_chunk_completion(c) for c in order]
+    assert completion == sorted(completion)
+
+
+# ------------------------------------------------------------ ring schedules
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(2, 33), rank=st.integers(0, 32))
+def test_ring_rs_schedule_properties(n, rank):
+    rank = rank % n
+    steps = ring_rs_schedule(n, rank)
+    assert len(steps) == n - 1
+    # Sends cover every chunk except the rank's own.
+    assert {s.send_chunk for s in steps} == set(range(n)) - {rank}
+    # Last receive is the rank's own, fully-reduced chunk.
+    assert steps[-1].recv_chunk == rank
+    # What arrives at step s is what gets sent at step s+1.
+    for prev, cur in zip(steps, steps[1:]):
+        assert cur.send_chunk == prev.recv_chunk
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(2, 33), rank=st.integers(0, 32))
+def test_ring_rs_global_consistency(n, rank):
+    """At every step, what rank receives is exactly what its upstream
+    neighbour (rank+1) sends."""
+    rank = rank % n
+    upstream = (rank + 1) % n
+    mine = ring_rs_schedule(n, rank)
+    theirs = ring_rs_schedule(n, upstream)
+    for my_step, their_step in zip(mine, theirs):
+        assert my_step.recv_chunk == their_step.send_chunk
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(2, 33), rank=st.integers(0, 32))
+def test_ring_ag_covers_everything(n, rank):
+    rank = rank % n
+    steps = ring_ag_schedule(n, rank)
+    assert {s.recv_chunk for s in steps} == set(range(n)) - {rank}
+    assert steps[0].send_chunk == rank
+
+
+@settings(max_examples=40, deadline=None)
+@given(total=st.integers(64, 10_000_000), n=st.integers(2, 64))
+def test_chunk_sizes_exact(total, n):
+    if total < n:
+        return
+    sizes = chunk_sizes(total, n)
+    assert sum(sizes) == total and len(sizes) == n
+
+
+# ---------------------------------------------------------------- addr maps
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(2, 64), rank=st.integers(0, 63))
+def test_ring_rs_address_map_properties(n, rank):
+    rank = rank % n
+    config = AddressSpaceConfig.ring_reduce_scatter(rank, n)
+    assert len(config.routes) == n
+    assert config.remote_chunks() == [(rank + 1) % n]
+    assert config.route(rank).kind is RouteKind.LOCAL_TERMINAL
+    assert len(config.dma_chunks()) == n - 2
+    downstream = (rank - 1) % n
+    for cid in config.dma_chunks():
+        assert config.route(cid).dst_gpu == downstream
+        assert config.route(cid).expected_updates == 2
+    # The schedule's send order equals the staggered production order.
+    sends = [s.send_chunk for s in ring_rs_schedule(n, rank)]
+    assert sends[0] == config.remote_chunks()[0]
+    assert set(sends[1:]) == set(config.dma_chunks())
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 32), rank=st.integers(0, 31))
+def test_direct_rs_address_map_properties(n, rank):
+    rank = rank % n
+    config = AddressSpaceConfig.direct_reduce_scatter(rank, n)
+    assert len(config.remote_chunks()) == n - 1
+    assert config.dma_chunks() == []
+    assert config.route(rank).expected_updates == n
+
+
+# ------------------------------------------------------------------ Tracker
+
+@settings(max_examples=50, deadline=None)
+@given(
+    expected=st.integers(1, 1 << 20),
+    pieces=st.lists(st.integers(1, 1 << 16), min_size=1, max_size=40),
+)
+def test_tracker_completes_exactly_at_threshold(expected, pieces):
+    tracker = Tracker(TrackerConfig())
+    tracker.program_region(0, -1, expected)
+    fired = []
+    tracker.add_completion_listener(fired.append)
+    delivered = 0
+    for piece in pieces:
+        if delivered >= expected:
+            break
+        tracker.observe(MemRequest(AccessKind.UPDATE, Stream.COMPUTE,
+                                   piece, "gemm", wg_id=0))
+        delivered += piece
+        assert bool(fired) == (delivered >= expected)
+    if delivered >= expected:
+        assert fired == [(0, -1)]
+        assert tracker.live_regions == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(wgs=st.lists(st.integers(0, 2047), min_size=1, max_size=200,
+                    unique=True))
+def test_tracker_regions_independent(wgs):
+    """Completing one WG region never disturbs another."""
+    tracker = Tracker(TrackerConfig())
+    for wg in wgs:
+        tracker.program_region(wg, -1, 100)
+    target = wgs[0]
+    tracker.observe(MemRequest(AccessKind.UPDATE, Stream.COMPUTE, 100,
+                               "gemm", wg_id=target))
+    assert not tracker.is_tracked(target)
+    for wg in wgs[1:]:
+        assert tracker.is_tracked(wg)
+
+
+# --------------------------------------------------------------- cache model
+
+@settings(max_examples=30, deadline=None)
+@given(
+    m=st.integers(256, 4096),
+    n=st.integers(256, 4096),
+    k=st.integers(64, 4096),
+)
+def test_cache_model_monotone_in_budget(m, n, k):
+    grid = TileGrid(GEMMShape(m, n, k), KCFG, n_cus=16)
+    mem = MemoryConfig()
+    base = estimate_gemm_traffic(grid, mem, bypass_writes=False)
+    bypass = estimate_gemm_traffic(grid, mem, bypass_writes=True)
+    # More cache for inputs never increases DRAM reads.
+    assert bypass.total_read_bytes <= base.total_read_bytes + 1e-6
+    # Reads are never below the compulsory A+B footprint...
+    shape = grid.shape
+    assert bypass.total_read_bytes >= (shape.a_bytes + shape.b_bytes) * 0.99
+    # ...and writes always equal the tile-granular output exactly.
+    for traffic in (base, bypass):
+        assert traffic.total_write_bytes == pytest.approx(
+            grid.n_wgs * grid.wg_tile_bytes)
+
+
+# -------------------------------------------------------------------- stats
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.floats(0.01, 1e6), min_size=1, max_size=30))
+def test_geomean_bounds(values):
+    g = geomean(values)
+    assert min(values) * 0.999 <= g <= max(values) * 1.001
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=20),
+    weights=st.lists(st.floats(0.01, 100), min_size=1, max_size=20),
+)
+def test_weighted_mean_bounds(values, weights):
+    k = min(len(values), len(weights))
+    values, weights = values[:k], weights[:k]
+    wm = weighted_mean(values, weights)
+    assert min(values) - 1e-6 <= wm <= max(values) + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(scale=st.floats(0.1, 10.0),
+       values=st.lists(st.floats(0.01, 1e4), min_size=1, max_size=10))
+def test_geomean_homogeneous(scale, values):
+    scaled = [v * scale for v in values]
+    assert geomean(scaled) == pytest.approx(geomean(values) * scale,
+                                            rel=1e-6)

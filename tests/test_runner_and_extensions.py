@@ -1,0 +1,104 @@
+"""Tests for the CLI runner and the Section-7 extension experiments."""
+
+import pytest
+
+from repro.config import table1_system
+from repro.experiments import extensions, related_work
+from repro.experiments.runner import EXPERIMENTS, main
+from repro.models import zoo
+from repro.models.endtoend import (
+    Phase,
+    iteration_breakdown,
+    nmc_following_ops_speedup,
+)
+
+
+# ------------------------------------------------------------------- runner
+
+def test_every_registered_experiment_is_callable():
+    expected = {"table1", "table2", "table3", "figure4", "figure6",
+                "figure14", "figure15", "figure16", "figure16-large",
+                "figure17", "figure18", "figure19", "figure20",
+                "generation", "precision", "following-ops",
+                "consumer-fusion", "in-switch", "dp-overlap"}
+    assert expected == set(EXPERIMENTS)
+
+
+def test_cli_runs_cheap_experiment(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "T3-MCA" in out
+    assert "finished in" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["figure99"])
+
+
+# ------------------------------------------------------- generation (7.3)
+
+def test_generation_breakdown_structure():
+    breakdown = iteration_breakdown(zoo.t_nlg(), 8, table1_system(8),
+                                    Phase.GENERATION)
+    groups = {op.group for op in breakdown.per_layer_ops if op.group}
+    assert groups == {"OP", "FC-2"}
+    # Decode is memory-bound: weights dominate -> a single token's layer
+    # time is micro-seconds scale, far below prompt time.
+    prompt = iteration_breakdown(zoo.t_nlg(), 8, table1_system(8),
+                                 Phase.PROMPT)
+    assert breakdown.total_time() < prompt.total_time() / 10
+
+
+def test_generation_comm_is_latency_bound():
+    """At tiny payloads the AR cost is ~2(N-1) link latencies."""
+    breakdown = iteration_breakdown(zoo.t_nlg(), 8, table1_system(8),
+                                    Phase.GENERATION)
+    ar_time = breakdown.time_by_category()["rs"] / breakdown.n_layers * 2
+    floor = 2 * 7 * 500.0  # 2(N-1) x 500 ns
+    assert ar_time > floor * 0.9
+
+
+def test_generation_study_rows():
+    result = extensions.run_generation()
+    assert len(result.rows) == 7  # 2 models x 2 TPs + 3 large models
+    assert "7.3" in result.render()
+
+
+# --------------------------------------------------------- precision (7.5)
+
+def test_precision_study_shapes():
+    result = extensions.run_precision(fast=True)
+    fp16, fp8 = result.row("fp16"), result.row("fp8")
+    # Compute shrinks ~quadratically, comm ~linearly.
+    assert fp8.gemm_us < fp16.gemm_us / 2.5
+    assert fp8.rs_us > fp16.rs_us / 3.0
+    assert "7.5" in result.render()
+
+
+# ------------------------------------------------------ following-ops (7.6)
+
+def test_following_ops_speedup_bounds():
+    for tp in (8, 16):
+        breakdown = iteration_breakdown(zoo.t_nlg(), tp, table1_system(tp))
+        s = nmc_following_ops_speedup(breakdown)
+        assert 1.0 < s < 1.2
+
+
+def test_following_ops_grows_with_tp():
+    """Sub-array shrinks by 1/N: bigger TP -> bigger §7.6 win."""
+    s8 = nmc_following_ops_speedup(
+        iteration_breakdown(zoo.t_nlg(), 8, table1_system(8)))
+    s16 = nmc_following_ops_speedup(
+        iteration_breakdown(zoo.t_nlg(), 16, table1_system(16)))
+    assert s16 > s8
+
+
+# ---------------------------------------------------------- in-switch table
+
+def test_related_work_structure():
+    result = related_work.run(fast=True)
+    assert len(result.rows) == 4
+    assert result.geomean("t3") > 1.0
+    assert result.geomean("in-switch") > 1.0
+    assert "in-switch" in result.render()

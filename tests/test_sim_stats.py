@@ -1,0 +1,149 @@
+"""Unit tests for measurement helpers (repro.sim.stats)."""
+
+import pytest
+
+from repro.sim.stats import (
+    Counter,
+    IntervalStats,
+    TimeSeries,
+    UtilizationTracker,
+    geomean,
+    weighted_mean,
+)
+
+
+# ---------------------------------------------------------------- TimeSeries
+
+def test_time_series_records_in_order():
+    ts = TimeSeries("reads")
+    ts.record(0, 10)
+    ts.record(5, 20)
+    assert len(ts) == 2
+    assert ts.total() == 30
+
+
+def test_time_series_rejects_out_of_order():
+    ts = TimeSeries("reads")
+    ts.record(10, 1)
+    with pytest.raises(ValueError):
+        ts.record(5, 1)
+
+
+def test_time_series_binning():
+    ts = TimeSeries()
+    for t in range(10):
+        ts.record(t, 1.0)
+    starts, sums = ts.binned(bin_ns=5)
+    assert starts == [0, 5]
+    assert sums == [5.0, 5.0]
+
+
+def test_time_series_binning_empty():
+    ts = TimeSeries()
+    assert ts.binned(5) == ([], [])
+
+
+def test_time_series_binning_window():
+    ts = TimeSeries()
+    for t in (0, 10, 20, 30):
+        ts.record(t, 2.0)
+    starts, sums = ts.binned(bin_ns=10, start=10, end=30)
+    assert sum(sums) == 6.0  # samples at 10, 20, 30
+
+
+def test_time_series_binning_validation():
+    ts = TimeSeries()
+    ts.record(0, 1)
+    with pytest.raises(ValueError):
+        ts.binned(0)
+    with pytest.raises(ValueError):
+        ts.binned(5, start=10, end=5)
+
+
+# ------------------------------------------------------------------- Counter
+
+def test_counter_accumulates():
+    c = Counter()
+    c.add("gemm.read", 100)
+    c.add("gemm.read", 50)
+    c.add("rs.write", 30)
+    assert c.get("gemm.read") == 150
+    assert c.get("missing") == 0
+    assert c.total("gemm") == 150
+    assert c.total() == 180
+    assert c.as_dict() == {"gemm.read": 150, "rs.write": 30}
+
+
+# ------------------------------------------------------- UtilizationTracker
+
+def test_utilization_basic():
+    u = UtilizationTracker()
+    u.busy(0, 50)
+    assert u.utilization(100) == pytest.approx(0.5)
+
+
+def test_utilization_merges_overlap():
+    u = UtilizationTracker()
+    u.busy(0, 60)
+    u.busy(30, 60)  # overlaps first half
+    assert u.busy_time == pytest.approx(90)
+    assert u.utilization(90) == pytest.approx(1.0)
+
+
+def test_utilization_negative_duration_rejected():
+    u = UtilizationTracker()
+    with pytest.raises(ValueError):
+        u.busy(0, -1)
+
+
+def test_utilization_zero_elapsed():
+    u = UtilizationTracker()
+    assert u.utilization(0) == 0.0
+
+
+# -------------------------------------------------------------- IntervalStats
+
+def test_interval_stats_duration_and_span():
+    stats = IntervalStats()
+    stats.begin("gemm", 0)
+    stats.end("gemm", 10)
+    stats.begin("gemm", 20)
+    stats.end("gemm", 25)
+    assert stats.duration("gemm") == 15
+    assert stats.span("gemm") == (0, 25)
+
+
+def test_interval_stats_errors():
+    stats = IntervalStats()
+    with pytest.raises(ValueError):
+        stats.end("never-opened", 5)
+    stats.begin("x", 0)
+    with pytest.raises(ValueError):
+        stats.begin("x", 1)
+    with pytest.raises(ValueError):
+        stats.end("x", -1)
+    with pytest.raises(KeyError):
+        stats.span("missing")
+
+
+# ------------------------------------------------------------------ geomean
+
+def test_geomean_matches_paper_style_aggregation():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([1.3, 1.3, 1.3]) == pytest.approx(1.3)
+
+
+def test_geomean_validation():
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+
+
+def test_weighted_mean():
+    assert weighted_mean([1, 3], [1, 1]) == pytest.approx(2.0)
+    assert weighted_mean([1, 3], [3, 1]) == pytest.approx(1.5)
+    with pytest.raises(ValueError):
+        weighted_mean([], [])
+    with pytest.raises(ValueError):
+        weighted_mean([1], [0])

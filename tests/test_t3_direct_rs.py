@@ -1,0 +1,86 @@
+"""Tests for the Section 7.1 direct reduce-scatter fusion extension."""
+
+import pytest
+
+from repro.config import table1_system
+from repro.gpu.wavefront import GEMMShape
+from repro.interconnect.topology import FullyConnectedTopology
+from repro.sim import Environment
+from repro.t3.fusion import FusedGEMMRS
+
+
+def run_direct(n_gpus=4, m=1024, n=512, k=256, n_cus=4, **kwargs):
+    env = Environment()
+    system = table1_system(n_gpus=n_gpus).with_fidelity(
+        quantum_bytes=16 * 1024)
+    topo = FullyConnectedTopology(env, system)
+    fused = FusedGEMMRS(topo, GEMMShape(m, n, k), n_cus=n_cus,
+                        collective="direct-rs", **kwargs)
+    result = fused.run()
+    return env, topo, fused, result
+
+
+def test_direct_rs_completes():
+    env, topo, fused, result = run_direct()
+    assert len(result.per_rank_terminal) == 4
+    assert result.duration > 0
+
+
+def test_direct_rs_uses_no_dma():
+    """Section 7.1: direct-RS is orchestrated entirely by GEMM stores."""
+    env, topo, fused, result = run_direct()
+    for gpu in topo.gpus:
+        assert gpu.dma.programmed_commands == []
+        assert gpu.mc.counters.get("rs.read") == 0  # no collective reads!
+
+
+def test_direct_rs_own_chunk_gets_n_contributions():
+    env, topo, fused, result = run_direct(n_gpus=4)
+    for rank, ledger in enumerate(fused.ledgers):
+        rows = ledger.summary()
+        assert len(rows) == 1  # only the own chunk is tracked
+        chunk_id, count, _ = rows[0]
+        assert chunk_id == rank
+        assert count == 4  # local + 3 remote (N contributions)
+
+
+def test_direct_rs_local_traffic_is_one_chunk():
+    """Each GPU's DRAM sees only its own chunk: local GEMM updates for it
+    plus N-1 incoming remote updates."""
+    env, topo, fused, result = run_direct(n_gpus=4, m=1024, n=512)
+    chunk = fused.grids[0].chunk_bytes_total(0)
+    for gpu in topo.gpus:
+        assert gpu.mc.counters.get("gemm.update") == pytest.approx(chunk)
+        assert gpu.mc.counters.get("rs.update") == pytest.approx(3 * chunk)
+
+
+def test_direct_rs_eliminates_collective_data_movement_vs_ring():
+    """Direct-RS moves strictly less DRAM traffic than ring-RS fusion."""
+    from repro.interconnect.topology import RingTopology
+
+    env_r = Environment()
+    system = table1_system(n_gpus=4).with_fidelity(quantum_bytes=16 * 1024)
+    ring = FusedGEMMRS(RingTopology(env_r, system), GEMMShape(1024, 512, 256),
+                       n_cus=4)
+    ring.run()
+    ring_total = ring.topo.gpus[0].mc.total_bytes()
+
+    _env, topo, _fused, _result = run_direct()
+    direct_total = topo.gpus[0].mc.total_bytes()
+    assert direct_total < ring_total
+
+
+def test_direct_rs_requires_known_collective():
+    env = Environment()
+    system = table1_system(n_gpus=4)
+    topo = FullyConnectedTopology(env, system)
+    with pytest.raises(ValueError, match="unsupported"):
+        FusedGEMMRS(topo, GEMMShape(512, 512, 128), collective="tree-ar")
+
+
+def test_direct_rs_on_eight_gpus():
+    env, topo, fused, result = run_direct(n_gpus=8, m=2048)
+    assert len(result.per_rank_terminal) == 8
+    for ledger in fused.ledgers:
+        (_cid, count, _sealed), = ledger.summary()
+        assert count == 8

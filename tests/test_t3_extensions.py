@@ -1,0 +1,122 @@
+"""Tests for the Section 7 extensions: split-K tracking and fused
+all-to-all."""
+
+import pytest
+
+from repro.config import table1_system
+from repro.gpu.wavefront import GEMMShape
+from repro.interconnect.topology import FullyConnectedTopology, RingTopology
+from repro.sim import Environment
+from repro.t3.address_map import AddressSpaceConfig, RouteKind
+from repro.t3.fusion import FusedGEMMRS
+
+
+def make_env(n_gpus=4, topo_cls=RingTopology):
+    env = Environment()
+    system = table1_system(n_gpus=n_gpus).with_fidelity(
+        quantum_bytes=16 * 1024)
+    return env, topo_cls(env, system)
+
+
+# --------------------------------------------------------- split-K (7.7)
+
+def test_split_k_expectations_in_address_map():
+    config = AddressSpaceConfig.ring_reduce_scatter(rank=0, n_gpus=4,
+                                                    split_k=3)
+    # Chunk (rank+2) receives the upstream neighbour's fine-grained
+    # remote stores: split_k local + split_k incoming.
+    assert config.route(2).expected_updates == 6
+    # DMA-fed chunks: split_k local + one reduced DMA contribution.
+    assert config.route(3).expected_updates == 4
+    assert config.route(0).expected_updates == 4  # own chunk (DMA-fed)
+
+
+def test_split_k_n2_own_chunk_is_remote_fed():
+    config = AddressSpaceConfig.ring_reduce_scatter(rank=1, n_gpus=2,
+                                                    split_k=2)
+    # With two GPUs the peer remote-maps straight into our own chunk.
+    assert config.route(1).expected_updates == 4
+
+
+def test_split_k_fused_run_completes():
+    env, topo = make_env()
+    fused = FusedGEMMRS(topo, GEMMShape(1024, 512, 256), n_cus=4, split_k=2)
+    result = fused.run()
+    assert len(result.per_rank_terminal) == 4
+    # Local GEMM updates double: split_k partial updates per element.
+    chunk = fused.grids[0].chunk_bytes_total(0)
+    for gpu in topo.gpus:
+        assert gpu.mc.counters.get("gemm.update") == pytest.approx(
+            2 * 3 * chunk)
+
+
+def test_split_k_triggers_exactly_once_per_chunk():
+    """Section 7.7's hazard: naive tracking would fire the DMA after the
+    first of the split-K updates; the deduced update count prevents it."""
+    env, topo = make_env()
+    fused = FusedGEMMRS(topo, GEMMShape(1024, 512, 256), n_cus=4, split_k=3)
+    fused.run()
+    for rank, gpu in enumerate(topo.gpus):
+        expected = len(fused.address_configs[rank].dma_chunks())
+        assert len(gpu.dma.triggered_commands) == expected
+
+
+def test_split_k_validation():
+    env, topo = make_env()
+    with pytest.raises(ValueError):
+        FusedGEMMRS(topo, GEMMShape(512, 512, 128), split_k=0)
+    with pytest.raises(ValueError):
+        AddressSpaceConfig.ring_reduce_scatter(0, 4, split_k=0)
+    env2, topo2 = make_env(topo_cls=FullyConnectedTopology)
+    with pytest.raises(ValueError, match="ring-RS"):
+        FusedGEMMRS(topo2, GEMMShape(512, 512, 128),
+                    collective="direct-rs", split_k=2)
+
+
+# ------------------------------------------------------- all-to-all (7.2)
+
+def test_all_to_all_address_map():
+    config = AddressSpaceConfig.all_to_all(rank=1, n_gpus=4)
+    assert config.remote_chunks() == [0, 2, 3]
+    assert config.route(0).op == "store"
+    assert config.route(0).dst_gpu == 0
+    assert config.route(1).kind is RouteKind.LOCAL_TERMINAL
+    assert config.route(1).expected_updates == 1
+
+
+def test_all_to_all_fused_run():
+    env, topo = make_env(topo_cls=FullyConnectedTopology)
+    fused = FusedGEMMRS(topo, GEMMShape(1024, 512, 256), n_cus=4,
+                        collective="all-to-all")
+    result = fused.run()
+    assert len(result.per_rank_terminal) == 4
+    chunk = fused.grids[0].chunk_bytes_total(0)
+    for gpu in topo.gpus:
+        # Exchanged data arrives as plain stores, not NMC updates.
+        assert gpu.mc.counters.get("a2a.write") == pytest.approx(3 * chunk)
+        assert gpu.mc.counters.get("a2a.update") == 0
+        # Own chunk written locally once (no reduction).
+        assert gpu.mc.counters.get("gemm.write") == pytest.approx(chunk)
+        assert gpu.dma.programmed_commands == []
+
+
+def test_all_to_all_no_ccdwl_penalty():
+    """Stores are serviced at CCDL, not the doubled CCDWL — the NMC
+    penalty only applies to reducing collectives."""
+    from repro.memory.dram import HBMChannel
+    from repro.memory.arbiter import ComputePriorityPolicy
+    from repro.memory.request import AccessKind, MemRequest, Stream
+
+    env = Environment()
+    channel = HBMChannel(env, 0, bandwidth_bytes_per_ns=100, queue_depth=4,
+                         ccdwl_factor=2.0, policy=ComputePriorityPolicy())
+    store = MemRequest(AccessKind.WRITE, Stream.COMM, 1000, "a2a")
+    update = MemRequest(AccessKind.UPDATE, Stream.COMM, 1000, "rs")
+    assert channel.service_time(store) * 2 == channel.service_time(update)
+
+
+def test_all_to_all_route_op_validation():
+    from repro.t3.address_map import ChunkRoute
+
+    with pytest.raises(ValueError, match="op"):
+        ChunkRoute(0, RouteKind.LOCAL_TERMINAL, op="xor")

@@ -1,0 +1,103 @@
+"""Tests for the standalone NMC reduce-scatter and the DP-overlap study."""
+
+import pytest
+
+from repro import units
+from repro.collectives.baseline import RingReduceScatter
+from repro.config import table1_system
+from repro.experiments import dp_overlap
+from repro.interconnect.topology import RingTopology
+from repro.sim import Environment
+from repro.t3.standalone import NMCReduceScatter
+
+
+def make_topo(n_gpus=4, quantum=32 * 1024, policy="compute-priority"):
+    env = Environment()
+    system = table1_system(n_gpus=n_gpus).with_fidelity(quantum_bytes=quantum)
+    return env, RingTopology(env, system, policy_name=policy)
+
+
+def test_nmc_rs_completes_on_all_ranks():
+    env, topo = make_topo()
+    rs = NMCReduceScatter(topo, nbytes_total=4 * units.MiB)
+    result = rs.run()
+    assert set(result.per_rank_terminal) == {0, 1, 2, 3}
+    assert result.duration > 0
+
+
+def test_nmc_rs_uses_no_compute_stream_traffic():
+    """Fully DMA-driven: every access is on the communication stream."""
+    env, topo = make_topo()
+    NMCReduceScatter(topo, nbytes_total=4 * units.MiB).run()
+    for gpu in topo.gpus:
+        from repro.memory.request import Stream
+        assert gpu.mc.outstanding(Stream.COMPUTE) == 0
+        # Reads = N-1 chunks forwarded; updates = N-1 incoming chunks.
+        chunk = units.MiB
+        assert gpu.mc.counters.get("rs.read") == pytest.approx(3 * chunk)
+        assert gpu.mc.counters.get("rs.update") == pytest.approx(3 * chunk)
+        assert gpu.mc.counters.get("rs.write") == 0
+
+
+def test_nmc_rs_moves_less_data_than_cu_rs():
+    """Section 7.4 / Figure 10: NMC halves the reduce-scatter's DRAM
+    traffic relative to the CU-driven kernel."""
+    env1, topo1 = make_topo()
+    NMCReduceScatter(topo1, nbytes_total=4 * units.MiB).run()
+    nmc_bytes = topo1.gpus[0].mc.total_bytes()
+    env2, topo2 = make_topo()
+    RingReduceScatter(topo2, nbytes_total=4 * units.MiB).run()
+    cu_bytes = topo2.gpus[0].mc.total_bytes()
+    assert nmc_bytes < cu_bytes * 0.7
+
+
+def test_nmc_rs_is_at_least_as_fast_as_cu_rs():
+    env1, topo1 = make_topo(quantum=64 * 1024)
+    nmc = NMCReduceScatter(topo1, nbytes_total=16 * units.MiB).run().duration
+    env2, topo2 = make_topo(quantum=64 * 1024)
+    cu = RingReduceScatter(topo2, nbytes_total=16 * units.MiB).run().duration
+    assert nmc <= cu * 1.05
+
+
+def test_nmc_rs_all_dmas_triggered_exactly_once():
+    env, topo = make_topo()
+    rs = NMCReduceScatter(topo, nbytes_total=4 * units.MiB)
+    rs.run()
+    n = topo.system.n_gpus
+    for gpu in topo.gpus:
+        assert len(gpu.dma.triggered_commands) == n - 1
+
+
+def test_nmc_rs_eight_gpus():
+    env, topo = make_topo(n_gpus=8)
+    result = NMCReduceScatter(topo, nbytes_total=8 * units.MiB).run()
+    assert len(result.per_rank_terminal) == 8
+
+
+# ------------------------------------------------------------- dp_overlap
+
+@pytest.fixture(scope="module")
+def dp_result():
+    return dp_overlap.run(fast=True)
+
+
+def test_dp_overlap_strategies_present(dp_result):
+    assert {r.strategy for r in dp_result.rows} == {
+        "CU-split", "NMC-RS/RR", "NMC-RS/MCA"}
+
+
+def test_nmc_substrate_removes_cu_interference(dp_result):
+    """With the RS on DMA+NMC the GEMM keeps all CUs: no slowdown from
+    compute sharing, unlike the CU-split strategy."""
+    cu = dp_result.row("CU-split")
+    nmc = dp_result.row("NMC-RS/MCA")
+    assert cu.gemm_slowdown > 1.03
+    assert nmc.gemm_slowdown < cu.gemm_slowdown
+    assert nmc.makespan_us <= cu.makespan_us
+
+
+def test_dp_overlap_render(dp_result):
+    text = dp_result.render()
+    assert "NMC-RS/MCA" in text and "isolated GEMM" in text
+    with pytest.raises(KeyError):
+        dp_result.row("nope")

@@ -1,0 +1,206 @@
+"""Unit tests for the T3 Tracker and trigger controller."""
+
+import pytest
+
+from repro.config import TrackerConfig, table1_system
+from repro.gpu.dma import DMACommand
+from repro.interconnect.topology import RingTopology
+from repro.memory.request import AccessKind, MemRequest, Stream
+from repro.sim import Environment
+from repro.t3.tracker import Tracker
+from repro.t3.trigger import DMABlock, TriggerController
+
+
+def update(wg, nbytes, wf=None, kind=AccessKind.UPDATE):
+    return MemRequest(kind=kind, stream=Stream.COMPUTE, nbytes=nbytes,
+                      label="gemm", wg_id=wg, wf_id=wf)
+
+
+# ------------------------------------------------------------------- Tracker
+
+def test_region_completes_at_expected_bytes():
+    tracker = Tracker(TrackerConfig())
+    fired = []
+    tracker.add_completion_listener(fired.append)
+    tracker.program_region(wg_id=7, wf_id=-1, expected_bytes=200)
+    tracker.observe(update(7, 100))
+    assert fired == []
+    tracker.observe(update(7, 100))
+    assert fired == [(7, -1)]
+    assert tracker.stats.regions_completed == 1
+
+
+def test_completed_entry_is_freed():
+    tracker = Tracker(TrackerConfig())
+    tracker.program_region(5, -1, 100)
+    tracker.observe(update(5, 100))
+    assert tracker.live_regions == 0
+    # Late updates to a freed region are counted as untracked.
+    tracker.observe(update(5, 50))
+    assert tracker.stats.untracked_updates == 1
+
+
+def test_reads_are_ignored():
+    tracker = Tracker(TrackerConfig())
+    tracker.program_region(1, -1, 100)
+    tracker.observe(update(1, 100, kind=AccessKind.READ))
+    assert tracker.live_regions == 1
+
+
+def test_untracked_wg_counted_not_crashed():
+    tracker = Tracker(TrackerConfig())
+    tracker.observe(update(99, 10))
+    assert tracker.stats.untracked_updates == 1
+
+
+def test_requests_without_wg_metadata_ignored():
+    tracker = Tracker(TrackerConfig())
+    req = MemRequest(AccessKind.WRITE, Stream.COMPUTE, 10, "gemm")
+    tracker.observe(req)
+    assert tracker.stats.untracked_updates == 1
+
+
+def test_set_index_and_tag_disambiguate_aliasing_wgs():
+    """WGs 3 and 259 share a set (index 3) but differ in wg_msb."""
+    tracker = Tracker(TrackerConfig())
+    tracker.program_region(3, -1, 100)
+    tracker.program_region(259, -1, 100)
+    tracker.observe(update(259, 100))
+    assert not tracker.is_tracked(259)
+    assert tracker.is_tracked(3)  # untouched
+
+
+def test_wf_granularity_tracks_per_wavefront():
+    tracker = Tracker(TrackerConfig(), granularity="wf")
+    for wf in range(4):
+        tracker.program_region(0, wf, expected_bytes=100)
+    fired = []
+    tracker.add_completion_listener(fired.append)
+    tracker.observe(update(0, 100, wf=2))
+    assert fired == [(0, 2)]
+    assert tracker.live_regions == 3
+
+
+def test_wf_granularity_spreads_wg_level_stores():
+    tracker = Tracker(TrackerConfig(), granularity="wf")
+    for wf in range(4):
+        tracker.program_region(0, wf, expected_bytes=100)
+    # A WG-granular store of 400 bytes covers all four WF regions.
+    tracker.observe(update(0, 400, wf=None))
+    assert tracker.live_regions == 0
+
+
+def test_overflow_strict_raises():
+    config = TrackerConfig(n_entries=4, ways=2)
+    tracker = Tracker(config, strict_capacity=True)
+    tracker.program_region(0, -1, 10)
+    tracker.program_region(4, -1, 10)  # same set, second way
+    with pytest.raises(RuntimeError, match="ways"):
+        tracker.program_region(8, -1, 10)
+
+
+def test_overflow_lenient_counts():
+    config = TrackerConfig(n_entries=4, ways=2)
+    tracker = Tracker(config)
+    for wg in (0, 4, 8):
+        tracker.program_region(wg, -1, 10)
+    assert tracker.stats.overflow_events == 1
+    assert tracker.stats.peak_ways_used == 3
+
+
+def test_paper_scale_stage_fits_tracker():
+    """A full 80-WG stage with 4 WFs/WG fits 256 sets x 8 ways easily."""
+    tracker = Tracker(TrackerConfig(), granularity="wf", strict_capacity=True)
+    for wg in range(80):
+        for wf in range(4):
+            tracker.program_region(wg, wf, 100)
+    assert tracker.stats.overflow_events == 0
+    assert tracker.live_regions == 320
+
+
+def test_program_region_validation():
+    tracker = Tracker(TrackerConfig())
+    with pytest.raises(ValueError):
+        tracker.program_region(0, -1, 0)
+    tracker.program_region(0, -1, 10)
+    with pytest.raises(ValueError):
+        tracker.program_region(0, -1, 10)
+    with pytest.raises(ValueError):
+        Tracker(TrackerConfig(), granularity="warp")
+
+
+# --------------------------------------------------------- TriggerController
+
+def make_controller():
+    env = Environment()
+    system = table1_system(n_gpus=4).with_fidelity(quantum_bytes=4096)
+    topo = RingTopology(env, system)
+    gpu = topo.gpus[0]
+    tracker = Tracker(TrackerConfig())
+    gpu.mc.add_tracker_observer(tracker.observe)
+    controller = TriggerController(env, tracker, gpu.dma)
+    return env, topo, gpu, tracker, controller
+
+
+def test_terminal_block_fires_event():
+    env, topo, gpu, tracker, controller = make_controller()
+    tracker.program_region(0, -1, 100)
+    tracker.program_region(1, -1, 100)
+    terminal = controller.program_block(DMABlock(
+        block_id="own", regions={(0, -1), (1, -1)}))
+    assert terminal is not None
+    tracker.observe(update(0, 100))
+    assert not terminal.triggered
+    tracker.observe(update(1, 100))
+    assert terminal.triggered
+
+
+def test_dma_block_triggers_programmed_command():
+    env, topo, gpu, tracker, controller = make_controller()
+    gpu.dma.program(DMACommand(
+        command_id="d0", dst_gpu_id=3, chunk_id=1,
+        wg_slices=((0, 4096), (1, 4096)), op=AccessKind.UPDATE))
+    tracker.program_region(0, -1, 100)
+    tracker.program_region(1, -1, 100)
+    assert controller.program_block(DMABlock(
+        block_id="c1", regions={(0, -1), (1, -1)},
+        dma_command_id="d0")) is None
+    tracker.observe(update(0, 100))
+    tracker.observe(update(1, 100))
+    env.run()
+    assert "d0" in gpu.dma.triggered_commands
+    assert gpu.dma.completion("d0").fired
+    assert controller.blocks_fired == 1
+
+
+def test_block_referencing_unknown_dma_rejected():
+    env, topo, gpu, tracker, controller = make_controller()
+    tracker.program_region(0, -1, 100)
+    with pytest.raises(ValueError, match="unprogrammed DMA"):
+        controller.program_block(DMABlock(
+            block_id="bad", regions={(0, -1)}, dma_command_id="ghost"))
+
+
+def test_region_cannot_belong_to_two_blocks():
+    env, topo, gpu, tracker, controller = make_controller()
+    tracker.program_region(0, -1, 100)
+    controller.program_block(DMABlock("a", regions={(0, -1)}))
+    with pytest.raises(ValueError, match="already owned"):
+        controller.program_block(DMABlock("b", regions={(0, -1)}))
+
+
+def test_block_validation():
+    env, topo, gpu, tracker, controller = make_controller()
+    with pytest.raises(ValueError, match="no regions"):
+        controller.program_block(DMABlock("empty", regions=set()))
+    tracker.program_region(0, -1, 100)
+    controller.program_block(DMABlock("a", regions={(0, -1)}))
+    with pytest.raises(ValueError, match="twice"):
+        controller.program_block(DMABlock("a", regions={(1, -1)}))
+
+
+def test_untracked_region_completion_is_ignored():
+    env, topo, gpu, tracker, controller = make_controller()
+    tracker.program_region(42, -1, 50)
+    tracker.observe(update(42, 50))  # no block owns region 42
+    assert controller.blocks_fired == 0

@@ -1,0 +1,83 @@
+"""Tests for the Chrome-trace exporter (repro.analysis.trace)."""
+
+import json
+
+import pytest
+
+from repro.analysis.trace import TraceRecorder, TraceSpan
+from repro.config import table1_system
+from repro.gpu.wavefront import GEMMShape
+from repro.interconnect.topology import RingTopology
+from repro.sim import Environment
+from repro.t3.fusion import FusedGEMMRS
+
+
+def traced_fused_run(record_dram=False):
+    env = Environment()
+    env.trace = TraceRecorder(record_dram=record_dram)
+    system = table1_system(n_gpus=4).with_fidelity(quantum_bytes=16 * 1024)
+    topo = RingTopology(env, system)
+    fused = FusedGEMMRS(topo, GEMMShape(1024, 512, 256), n_cus=4)
+    fused.run()
+    return env.trace
+
+
+def test_span_validation():
+    with pytest.raises(ValueError):
+        TraceSpan("bad", "cat", start_ns=10, end_ns=5, track="t")
+
+
+def test_recorder_collects_fused_run_spans():
+    trace = traced_fused_run()
+    summary = trace.summary()
+    assert summary["kernel"] == 4          # one GEMM per GPU
+    assert summary["dma"] == 4 * 2         # N-2 DMA commands per GPU
+    assert summary["link"] > 0
+    assert "dram" not in summary           # off by default
+
+
+def test_dram_spans_optional():
+    trace = traced_fused_run(record_dram=True)
+    assert len(trace.by_category("dram")) > 0
+
+
+def test_chrome_events_structure():
+    trace = traced_fused_run()
+    events = trace.to_chrome_events()
+    complete = [e for e in events if e["ph"] == "X"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == len(trace)
+    assert meta, "thread-name metadata missing"
+    for event in complete:
+        assert event["dur"] > 0
+        assert {"name", "cat", "ts", "pid", "tid"} <= set(event)
+    # Kernel spans live in the 'compute' group on per-GPU tracks.
+    kernel_tracks = {
+        e["tid"] for e in complete if e["cat"] == "kernel"
+    }
+    assert len(kernel_tracks) == 4
+
+
+def test_save_round_trips_as_json(tmp_path):
+    trace = traced_fused_run()
+    path = tmp_path / "trace.json"
+    trace.save(str(path))
+    payload = json.loads(path.read_text())
+    assert "traceEvents" in payload
+    assert len(payload["traceEvents"]) >= len(trace)
+
+
+def test_tracing_off_by_default_costs_nothing():
+    env = Environment()
+    assert env.trace is None
+    system = table1_system(n_gpus=4).with_fidelity(quantum_bytes=16 * 1024)
+    topo = RingTopology(env, system)
+    fused = FusedGEMMRS(topo, GEMMShape(512, 512, 128), n_cus=4)
+    fused.run()  # must not crash without a recorder
+
+
+def test_dma_spans_carry_chunk_args():
+    trace = traced_fused_run()
+    for span in trace.by_category("dma"):
+        assert span.args is not None
+        assert "chunk" in span.args and "bytes" in span.args

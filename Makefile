@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test smoke-cache results clean-cache
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Cache smoke test: figure16 twice; the second run must hit the persistent
+# sweep cache (zero simulations), be much faster, and render identically.
+smoke-cache:
+	$(PYTHON) scripts/smoke_cache.py
+
+# Regenerate results/ (fast mode).  JOBS workers for cache misses.
+JOBS ?= 1
+results:
+	$(PYTHON) scripts/capture_results.py --jobs $(JOBS)
+
+clean-cache:
+	$(PYTHON) -c "from repro.experiments.sublayer_sweep import \
+clear_disk_cache; print(f'{clear_disk_cache()} entries removed')"

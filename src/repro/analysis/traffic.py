@@ -48,6 +48,10 @@ class DramBreakdown:
             "ag_write": self.ag_write,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "DramBreakdown":
+        return cls(**data)
+
 
 def collect_breakdown(gpus: Iterable[GPU]) -> DramBreakdown:
     """Average the per-GPU counters into one breakdown.

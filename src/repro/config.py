@@ -15,14 +15,42 @@ dataclasses; experiments construct variants with ``dataclasses.replace``.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro import units
 
 
+class _SerializableConfig:
+    """Mixin: stable dict round-tripping for the frozen config dataclasses.
+
+    ``to_dict`` recurses via ``dataclasses.asdict`` and yields only
+    JSON-serializable values; classes with tuple-valued or nested fields
+    override ``from_dict`` to restore the exact constructor types.
+    """
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]):
+        return cls(**data)
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the full configuration *content*.
+
+        Two configs constructed independently but holding equal values
+        hash identically, which makes the digest safe to use as a cache
+        key (unlike ``hash()``, which is also process-seeded for strings).
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 @dataclass(frozen=True)
-class ComputeConfig:
+class ComputeConfig(_SerializableConfig):
     """Per-GPU compute resources (Table 1, "Per-GPU Config")."""
 
     n_cus: int = 80
@@ -53,7 +81,7 @@ class ComputeConfig:
 
 
 @dataclass(frozen=True)
-class MemoryConfig:
+class MemoryConfig(_SerializableConfig):
     """LLC + HBM parameters (Table 1)."""
 
     llc_bytes: int = 16 * units.MiB
@@ -92,7 +120,7 @@ class MemoryConfig:
 
 
 @dataclass(frozen=True)
-class LinkConfig:
+class LinkConfig(_SerializableConfig):
     """Inter-GPU ring interconnect (Table 1).
 
     The paper's node supports a "150 GB/s bi-directional" ring; each
@@ -110,7 +138,7 @@ class LinkConfig:
 
 
 @dataclass(frozen=True)
-class GEMMKernelConfig:
+class GEMMKernelConfig(_SerializableConfig):
     """Parametric tiled-GEMM kernel shape (Section 2.5 / Figure 5).
 
     Each workgroup (WG) produces one complete ``macro_tile_m x macro_tile_n``
@@ -134,7 +162,7 @@ class GEMMKernelConfig:
 
 
 @dataclass(frozen=True)
-class TrackerConfig:
+class TrackerConfig(_SerializableConfig):
     """T3's track & trigger hardware structure (Section 4.2.1)."""
 
     n_entries: int = 256
@@ -145,7 +173,7 @@ class TrackerConfig:
 
 
 @dataclass(frozen=True)
-class MCAConfig:
+class MCAConfig(_SerializableConfig):
     """Communication-aware memory-controller arbitration (Section 4.5)."""
 
     #: candidate DRAM-queue occupancy thresholds; MCA picks one per kernel
@@ -158,9 +186,16 @@ class MCAConfig:
     #: stream is force-prioritized to avoid starvation.
     starvation_limit_ns: float = 2000.0
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MCAConfig":
+        data = dict(data)
+        data["occupancy_thresholds"] = tuple(data["occupancy_thresholds"])
+        data["intensity_breakpoints"] = tuple(data["intensity_breakpoints"])
+        return cls(**data)
+
 
 @dataclass(frozen=True)
-class FidelityConfig:
+class FidelityConfig(_SerializableConfig):
     """Event-granularity knobs for the discrete-event simulator.
 
     ``quantum_bytes`` is the size of one simulated memory transaction
@@ -179,7 +214,7 @@ class FidelityConfig:
 
 
 @dataclass(frozen=True)
-class SystemConfig:
+class SystemConfig(_SerializableConfig):
     """A complete simulated multi-GPU node."""
 
     n_gpus: int = 8
@@ -207,6 +242,19 @@ class SystemConfig:
         new_cus = int(round(self.compute.n_cus * factor))
         return self.replace(
             compute=dataclasses.replace(self.compute, n_cus=new_cus)
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SystemConfig":
+        return cls(
+            n_gpus=data["n_gpus"],
+            compute=ComputeConfig.from_dict(data["compute"]),
+            memory=MemoryConfig.from_dict(data["memory"]),
+            link=LinkConfig.from_dict(data["link"]),
+            gemm=GEMMKernelConfig.from_dict(data["gemm"]),
+            tracker=TrackerConfig.from_dict(data["tracker"]),
+            mca=MCAConfig.from_dict(data["mca"]),
+            fidelity=FidelityConfig.from_dict(data["fidelity"]),
         )
 
 

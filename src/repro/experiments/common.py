@@ -32,8 +32,14 @@ from repro.memory.cache import estimate_gemm_traffic
 from repro.models.transformer import SubLayer
 from repro.models import zoo
 from repro.sim import Environment
-from repro.t3.configs import RunConfig, config_by_name
+from repro.t3.configs import CONFIGS, RunConfig, config_by_name
 from repro.t3.fusion import FusedGEMMRS
+
+#: every configuration name ``run_sublayer_suite`` understands, in the
+#: Section 5.3 order.  Requests are validated against this set so a typo
+#: (e.g. ``"T3-mca"``) fails immediately instead of surfacing later as a
+#: ``KeyError`` in ``SublayerSuite.speedup``.
+KNOWN_CONFIG_NAMES: Tuple[str, ...] = tuple(c.name for c in CONFIGS)
 
 
 @dataclass
@@ -61,11 +67,52 @@ class SublayerSuite:
         new = self.traffic[config].total
         return 1.0 - new / base
 
+    # -- serialization (the on-disk sweep cache payload) --------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "shape": self.shape.to_dict(),
+            "system": self.system.to_dict(),
+            "gemm_time": self.gemm_time,
+            "rs_time": self.rs_time,
+            "ag_time": self.ag_time,
+            "times": dict(self.times),
+            "traffic": {name: bd.as_dict()
+                        for name, bd in self.traffic.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SublayerSuite":
+        return cls(
+            label=data["label"],
+            shape=GEMMShape.from_dict(data["shape"]),
+            system=SystemConfig.from_dict(data["system"]),
+            gemm_time=data["gemm_time"],
+            rs_time=data["rs_time"],
+            ag_time=data["ag_time"],
+            times=dict(data["times"]),
+            traffic={name: DramBreakdown.from_dict(bd)
+                     for name, bd in data["traffic"].items()},
+        )
+
 
 def scaled_shape(shape: GEMMShape, scale: int, min_m: int = 256) -> GEMMShape:
     """Shrink the token (M) dimension for fast runs; K/N untouched so the
     compute-vs-communication balance is preserved.  ``min_m`` keeps the
-    output chunkable (ring fusion needs >= one tile row per device)."""
+    output chunkable (ring fusion needs >= one tile row per device).
+
+    The unscaled ``shape`` must itself satisfy ``min_m`` — a shape whose M
+    is already below the floor cannot be chunked into enough tile rows no
+    matter the scale, and silently clamping (the old behavior) let ring
+    fusion fail much later with an opaque error.
+    """
+    if shape.m < min_m:
+        raise ValueError(
+            f"GEMM shape {shape.name or shape} has m={shape.m} < min_m="
+            f"{min_m}: the output cannot be chunked into enough macro-tile "
+            f"rows for ring fusion; reduce tp, enlarge the batch/sequence, "
+            f"or shrink the kernel's macro_tile_m")
     if scale <= 1:
         return shape
     new_m = max(shape.m // scale, min_m, 256)
@@ -120,8 +167,12 @@ def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
                        configs: Optional[List[str]] = None,
                        record_traffic: bool = False) -> SublayerSuite:
     """Run every requested configuration on one sub-layer GEMM shape."""
-    wanted = configs or ["Sequential", "T3", "T3-MCA",
-                         "Ideal-GEMM-RS-Overlap", "Ideal-RS+NMC"]
+    wanted = configs or list(KNOWN_CONFIG_NAMES)
+    unknown = [name for name in wanted if name not in KNOWN_CONFIG_NAMES]
+    if unknown:
+        raise ValueError(
+            f"unknown configuration name(s) {unknown!r}; choose from "
+            f"{list(KNOWN_CONFIG_NAMES)}")
     suite = SublayerSuite(label=label or shape.name, shape=shape,
                           system=system)
 

@@ -54,8 +54,9 @@ class Figure15Result:
         return "\n".join(lines)
 
 
-def run(fast: bool = True, large: bool = False) -> Figure15Result:
-    suites = run_sweep(fast=fast, large=large)
+def run(fast: bool = True, large: bool = False,
+        jobs: int | None = None) -> Figure15Result:
+    suites = run_sweep(fast=fast, large=large, jobs=jobs)
     rows = [
         Figure15Row(
             case=s.label,

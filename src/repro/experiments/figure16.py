@@ -34,8 +34,9 @@ class Figure16Result:
         return self.table.max(config)
 
 
-def run(fast: bool = True, large: bool = False) -> Figure16Result:
-    suites = run_sweep(fast=fast, large=large)
+def run(fast: bool = True, large: bool = False,
+        jobs: int | None = None) -> Figure16Result:
+    suites = run_sweep(fast=fast, large=large, jobs=jobs)
     table = SpeedupTable()
     for suite in suites:
         for config in CONFIG_ORDER:

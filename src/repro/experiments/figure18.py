@@ -89,8 +89,9 @@ class Figure18Result:
         return geomean([r.write_ratio for r in self.rows])
 
 
-def run(fast: bool = True, large: bool = False) -> Figure18Result:
-    suites = run_sweep(fast=fast, large=large)
+def run(fast: bool = True, large: bool = False,
+        jobs: int | None = None) -> Figure18Result:
+    suites = run_sweep(fast=fast, large=large, jobs=jobs)
     rows = [
         Figure18Row(case=s.label,
                     baseline=s.traffic["Sequential"],

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.config import table1_system
-from repro.experiments.sublayer_sweep import run_case
+from repro.experiments.sublayer_sweep import run_sweep
 from repro.models import zoo
 from repro.models.endtoend import (
     Phase,
@@ -56,7 +56,8 @@ class Figure19Result:
         return max(r.t3_mca_speedup for r in self.rows if r.phase == phase)
 
 
-def run(fast: bool = True, large: bool = False) -> Figure19Result:
+def run(fast: bool = True, large: bool = False,
+        jobs: int | None = None) -> Figure19Result:
     combos = []
     if large:
         combos = [(m, 32) for m in zoo.large_models()]
@@ -64,13 +65,19 @@ def run(fast: bool = True, large: bool = False) -> Figure19Result:
         for model in zoo.small_models():
             combos.extend([(model, 8), (model, 16)])
 
+    # One batched sweep over every (model, tp, sub-layer) case so misses
+    # parallelize across --jobs workers instead of running one by one.
+    cases = [model.sublayer(name, tp)
+             for model, tp in combos for name in SUBLAYER_NAMES]
+    suites = iter(run_sweep(fast=fast, cases=cases, jobs=jobs))
+
     rows: List[Figure19Row] = []
     all_speedups: Dict[str, Dict[str, float]] = {}
     for model, tp in combos:
         system = table1_system(n_gpus=tp)
         per_group: Dict[str, Dict[str, float]] = {"T3": {}, "T3-MCA": {}}
         for name in SUBLAYER_NAMES:
-            suite = run_case(model.sublayer(name, tp), fast=fast)
+            suite = next(suites)
             per_group["T3"][name] = suite.speedup("T3")
             per_group["T3-MCA"][name] = suite.speedup("T3-MCA")
         all_speedups[f"{model.name}/TP{tp}"] = dict(per_group["T3-MCA"])

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.config import table1_system
-from repro.experiments.sublayer_sweep import run_case
+from repro.experiments.sublayer_sweep import run_sweep
 from repro.models import zoo
 
 
@@ -59,33 +59,35 @@ class Figure20Result:
         raise KeyError(substr)
 
 
-def run(fast: bool = True) -> Figure20Result:
+def run(fast: bool = True, jobs: int | None = None) -> Figure20Result:
     """Large-model shapes are small enough (2K tokens) to simulate at
     full size, which matters here: token-scaling would distort the
     compute:communication balance the figure is about.  Fast mode trims
     the model list instead."""
-    rows: List[Figure20Row] = []
     models = [zoo.palm()] if fast else zoo.large_models()
     tp = 32
     base_system = table1_system(n_gpus=tp)
     future_system = base_system.scaled_compute(2.0)
     configs = ["Sequential", "T3-MCA"]
-    for model in models:
-        for name in ("OP", "FC-2"):
-            sub = model.sublayer(name, tp)
-            base = run_case(sub, fast=False, system=base_system,
-                            configs=configs)
-            future = run_case(sub, fast=False, system=future_system,
-                              configs=configs)
-            def ideal(suite):
-                overlapped = max(suite.gemm_time, suite.rs_time) + suite.ag_time
-                return suite.times["Sequential"] / overlapped
+    subs = [model.sublayer(name, tp)
+            for model in models for name in ("OP", "FC-2")]
+    # Both hardware variants of every case in one batched sweep.
+    bases = run_sweep(fast=False, cases=subs, configs=configs, jobs=jobs,
+                      system_for_tp=lambda _: base_system)
+    futures = run_sweep(fast=False, cases=subs, configs=configs, jobs=jobs,
+                        system_for_tp=lambda _: future_system)
 
-            rows.append(Figure20Row(
-                case=sub.label,
-                speedup_1x=base.speedup("T3-MCA"),
-                speedup_2x=future.speedup("T3-MCA"),
-                ideal_1x=ideal(base),
-                ideal_2x=ideal(future),
-            ))
+    def ideal(suite):
+        overlapped = max(suite.gemm_time, suite.rs_time) + suite.ag_time
+        return suite.times["Sequential"] / overlapped
+
+    rows: List[Figure20Row] = []
+    for sub, base, future in zip(subs, bases, futures):
+        rows.append(Figure20Row(
+            case=sub.label,
+            speedup_1x=base.speedup("T3-MCA"),
+            speedup_2x=future.speedup("T3-MCA"),
+            ideal_1x=ideal(base),
+            ideal_2x=ideal(future),
+        ))
     return Figure20Result(rows)

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.config import table1_system
-from repro.experiments.sublayer_sweep import run_case
+from repro.experiments.sublayer_sweep import run_sweep
 from repro.models import zoo
 from repro.sim.stats import geomean
 
@@ -64,21 +64,21 @@ class RelatedWorkResult:
                    if r.t3_mca_speedup > r.in_switch_speedup)
 
 
-def run(fast: bool = True) -> RelatedWorkResult:
+def run(fast: bool = True, jobs: int | None = None) -> RelatedWorkResult:
+    subs = [model.sublayer(name, 8)
+            for model in zoo.small_models() for name in ("OP", "FC-2")]
+    suites = run_sweep(fast=fast, cases=subs, jobs=jobs,
+                       system_for_tp=lambda tp: table1_system(n_gpus=tp))
     rows: List[RelatedWorkRow] = []
-    for model in zoo.small_models():
-        for name in ("OP", "FC-2"):
-            sub = model.sublayer(name, 8)
-            suite = run_case(sub, fast=fast,
-                             system=table1_system(n_gpus=8))
-            sequential = suite.times["Sequential"]
-            # In-switch: the AR (RS+AG) runs 2x faster, still serialized.
-            in_switch = (suite.gemm_time
-                         + (suite.rs_time + suite.ag_time)
-                         / IN_SWITCH_FACTOR)
-            rows.append(RelatedWorkRow(
-                case=sub.label,
-                in_switch_speedup=sequential / in_switch,
-                t3_mca_speedup=suite.speedup("T3-MCA"),
-            ))
+    for sub, suite in zip(subs, suites):
+        sequential = suite.times["Sequential"]
+        # In-switch: the AR (RS+AG) runs 2x faster, still serialized.
+        in_switch = (suite.gemm_time
+                     + (suite.rs_time + suite.ag_time)
+                     / IN_SWITCH_FACTOR)
+        rows.append(RelatedWorkRow(
+            case=sub.label,
+            in_switch_speedup=sequential / in_switch,
+            t3_mca_speedup=suite.speedup("T3-MCA"),
+        ))
     return RelatedWorkResult(rows)

@@ -3,8 +3,15 @@
 Usage::
 
     python -m repro.experiments.runner figure16
-    python -m repro.experiments.runner figure16 --full
-    python -m repro.experiments.runner all
+    python -m repro.experiments.runner figure16 --full --jobs 8
+    python -m repro.experiments.runner all --cache-dir /tmp/t3-cache
+    python -m repro.experiments.runner figure16 --no-cache
+
+Sub-layer sweep cases are cached persistently (content-addressed, under
+``~/.cache/repro-t3`` unless ``--cache-dir`` / ``$REPRO_T3_CACHE_DIR``
+says otherwise) and cache misses fan out over ``--jobs`` worker
+processes.  Each experiment's timing line reports the sweep-cache
+activity it caused, e.g. ``sweep cache: 16 hits, 0 misses, 0 simulated``.
 """
 
 from __future__ import annotations
@@ -16,7 +23,8 @@ from typing import Callable, Dict
 
 from repro.experiments import (
     dp_overlap, extensions, figure4, figure6, figure15, figure16, figure17,
-    figure18, figure19, figure20, related_work, tables, validation,
+    figure18, figure19, figure20, related_work, sublayer_sweep, tables,
+    validation,
 )
 
 EXPERIMENTS: Dict[str, Callable] = {
@@ -43,6 +51,34 @@ EXPERIMENTS: Dict[str, Callable] = {
 }
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sweep execution flags, shared with scripts/capture_results."""
+    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help="worker processes for sweep cases that miss "
+                             "the cache (default: 1, fully serial)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent sweep-cache directory (default: "
+                             "$REPRO_T3_CACHE_DIR or ~/.cache/repro-t3)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the persistent "
+                             "sweep cache")
+
+
+def configure_sweep(args: argparse.Namespace) -> None:
+    sublayer_sweep.configure(jobs=args.jobs, cache_dir=args.cache_dir,
+                             disk_cache=not args.no_cache)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="T3 reproduction experiment runner")
@@ -53,15 +89,28 @@ def main(argv=None) -> int:
                         help="paper-scale shapes (slower); default is a "
                              "token-scaled fast mode with identical "
                              "compute:communication balance")
+    add_sweep_arguments(parser)
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="delete every persistent sweep-cache entry "
+                             "before running")
     args = parser.parse_args(argv)
+    configure_sweep(args)
+    if args.clear_cache:
+        removed = sublayer_sweep.clear_disk_cache()
+        print(f"[cleared {removed} sweep-cache entries]")
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     for name in names:
         started = time.time()
+        before = sublayer_sweep.cache_stats().snapshot()
         result = EXPERIMENTS[name](fast=not args.full)
+        sweep = sublayer_sweep.cache_stats().delta(before)
         print(result.render())
-        print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+        line = f"[{name} finished in {time.time() - started:.1f}s"
+        if sweep.hits or sweep.misses:
+            line += f"; sweep cache: {sweep.render()}"
+        print(line + "]\n")
     return 0
 
 

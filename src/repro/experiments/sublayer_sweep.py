@@ -2,13 +2,26 @@
 
 Runs the Section 5.3 configuration suite over a case list (by default the
 paper's eight small-model cases: Mega-GPT-2 and T-NLG, TP 8 and 16, four
-sub-layers each).  Results are cached per (case, system, scale) within a
-process so the figure modules can share one sweep.
+sub-layers each).  Results are cached at two levels:
+
+* an in-process memo (so the figure modules share one sweep within a
+  ``capture_results`` / ``runner all`` invocation), and
+* the persistent on-disk :class:`~repro.experiments.executor.SweepCache`,
+  keyed by a content hash of the case + system + simulator version, so
+  repeat runs re-simulate nothing.
+
+``run_sweep(jobs=N)`` dispatches cache misses through a process pool; see
+:mod:`repro.experiments.executor`.  The module-level options set by
+:func:`configure` let the CLI thread ``--jobs`` / ``--cache-dir`` /
+``--no-cache`` through figure modules that call :func:`run_sweep` with no
+arguments.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import dataclasses
+import pathlib
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import SystemConfig, table1_system
 from repro.experiments.common import (
@@ -16,13 +29,74 @@ from repro.experiments.common import (
     run_sublayer_suite,
     scaled_shape,
 )
+from repro.experiments.executor import (
+    CacheStats,
+    CaseSpec,
+    SweepCache,
+    run_cases,
+)
 from repro.models import zoo
 from repro.models.transformer import SubLayer
 
-_CACHE: Dict[Tuple, SublayerSuite] = {}
+#: in-process memo: case fingerprint -> suite (identical object returned).
+_MEMO: Dict[str, SublayerSuite] = {}
 
 #: fast-mode token scaling (shrinks M; K/N/balance preserved).
 FAST_SCALE = 8
+
+#: full-scale runs use a coarser memory-transaction quantum: paper-scale
+#: chunks are tens of MB, so 256 KiB transactions keep hundreds of
+#: requests per chunk while making full sweeps tractable.
+FULL_MODE_QUANTUM = 256 * 1024
+
+
+@dataclasses.dataclass
+class SweepOptions:
+    """Process-wide sweep execution defaults (set from CLI flags)."""
+
+    jobs: int = 1
+    cache_dir: Optional[pathlib.Path] = None
+    disk_cache: bool = True
+
+
+_OPTIONS = SweepOptions()
+_DISK_CACHE: Optional[SweepCache] = None
+
+
+def configure(jobs: Optional[int] = None,
+              cache_dir: Optional[str] = None,
+              disk_cache: Optional[bool] = None) -> SweepOptions:
+    """Set process-wide sweep defaults; returns the effective options.
+
+    Called by ``repro.experiments.runner`` and ``scripts/capture_results``
+    so figure modules need no flag plumbing of their own.
+    """
+    global _DISK_CACHE
+    if jobs is not None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        _OPTIONS.jobs = jobs
+    if cache_dir is not None:
+        _OPTIONS.cache_dir = pathlib.Path(cache_dir).expanduser()
+        _DISK_CACHE = None  # rebuild against the new directory
+    if disk_cache is not None:
+        _OPTIONS.disk_cache = disk_cache
+        _DISK_CACHE = None
+    return _OPTIONS
+
+
+def disk_cache() -> SweepCache:
+    """The process-wide persistent cache (honoring ``configure``)."""
+    global _DISK_CACHE
+    if _DISK_CACHE is None:
+        _DISK_CACHE = SweepCache(directory=_OPTIONS.cache_dir,
+                                 enabled=_OPTIONS.disk_cache)
+    return _DISK_CACHE
+
+
+def cache_stats() -> CacheStats:
+    """Live counters of the persistent cache (for the runner report)."""
+    return disk_cache().stats
 
 
 def default_cases(large: bool = False) -> List[SubLayer]:
@@ -39,16 +113,10 @@ def default_cases(large: bool = False) -> List[SubLayer]:
     return cases
 
 
-#: full-scale runs use a coarser memory-transaction quantum: paper-scale
-#: chunks are tens of MB, so 256 KiB transactions keep hundreds of
-#: requests per chunk while making full sweeps tractable.
-FULL_MODE_QUANTUM = 256 * 1024
-
-
-def run_case(sub: SubLayer, fast: bool = True,
-             system: Optional[SystemConfig] = None,
-             configs: Optional[List[str]] = None,
-             use_cache: bool = True) -> SublayerSuite:
+def _resolve_spec(sub: SubLayer, fast: bool,
+                  system: Optional[SystemConfig],
+                  configs: Optional[Sequence[str]]) -> CaseSpec:
+    """Apply TP defaults and full-mode fidelity; returns the final spec."""
     base_system = system or table1_system(n_gpus=sub.tp)
     if base_system.n_gpus != sub.tp:
         raise ValueError(
@@ -58,32 +126,77 @@ def run_case(sub: SubLayer, fast: bool = True,
             quantum_bytes=max(base_system.fidelity.quantum_bytes,
                               FULL_MODE_QUANTUM))
     scale = FAST_SCALE if fast else 1
-    key = (sub.label, scale, base_system, tuple(configs or ()))
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    return CaseSpec(sub=sub, scale=scale, system=base_system,
+                    configs=tuple(configs or ()))
+
+
+def simulate_case(sub: SubLayer, scale: int, system: SystemConfig,
+                  configs: Optional[List[str]] = None) -> SublayerSuite:
+    """Simulate one fully-resolved case (no caching; executor workers and
+    the serial path both land here)."""
     # Keep the scaled output chunkable: need >= tp workgroup tiles.
-    tiles_n = max(1, sub.gemm.n // base_system.gemm.macro_tile_n)
+    tiles_n = max(1, sub.gemm.n // system.gemm.macro_tile_n)
     rows_needed = -(-sub.tp // tiles_n)  # ceil
-    min_m = rows_needed * base_system.gemm.macro_tile_m
+    min_m = rows_needed * system.gemm.macro_tile_m
     shape = scaled_shape(sub.gemm, scale, min_m=min_m)
-    suite = run_sublayer_suite(base_system, shape, label=sub.label,
-                               configs=configs)
-    if use_cache:
-        _CACHE[key] = suite
+    return run_sublayer_suite(system, shape, label=sub.label,
+                              configs=configs)
+
+
+def run_case(sub: SubLayer, fast: bool = True,
+             system: Optional[SystemConfig] = None,
+             configs: Optional[List[str]] = None,
+             use_cache: bool = True) -> SublayerSuite:
+    """Run one case through the memo + persistent cache."""
+    spec = _resolve_spec(sub, fast, system, configs)
+    if not use_cache:
+        return simulate_case(spec.sub, spec.scale, spec.system,
+                             list(spec.configs) or None)
+    key = spec.fingerprint()
+    if key in _MEMO:
+        return _MEMO[key]
+    suite = run_cases([spec], jobs=1, cache=disk_cache())[0]
+    _MEMO[key] = suite
     return suite
 
 
 def run_sweep(fast: bool = True, large: bool = False,
               cases: Optional[Sequence[SubLayer]] = None,
-              system_for_tp=None) -> List[SublayerSuite]:
-    """Run all cases; returns one suite per case, in case order."""
+              system_for_tp=None,
+              configs: Optional[Sequence[str]] = None,
+              jobs: Optional[int] = None,
+              progress=None) -> List[SublayerSuite]:
+    """Run all cases; returns one suite per case, in case order.
+
+    ``jobs`` (default: the :func:`configure` setting) bounds the number of
+    worker processes used for cache-missing cases; cached cases are never
+    re-simulated.  ``system_for_tp`` maps a TP degree to a custom
+    :class:`SystemConfig`; ``configs`` restricts the per-case suite.
+    """
     selected = list(cases) if cases is not None else default_cases(large)
-    suites: List[SublayerSuite] = []
+    specs: List[CaseSpec] = []
     for sub in selected:
         system = system_for_tp(sub.tp) if system_for_tp else None
-        suites.append(run_case(sub, fast=fast, system=system))
-    return suites
+        specs.append(_resolve_spec(sub, fast, system, configs))
+
+    keys = [spec.fingerprint() for spec in specs]
+    missing = [(spec, key) for spec, key in zip(specs, keys)
+               if key not in _MEMO]
+    if missing:
+        effective_jobs = jobs if jobs is not None else _OPTIONS.jobs
+        fresh = run_cases([spec for spec, _ in missing],
+                          jobs=effective_jobs, cache=disk_cache(),
+                          progress=progress)
+        for (_, key), suite in zip(missing, fresh):
+            _MEMO[key] = suite
+    return [_MEMO[key] for key in keys]
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    """Forget the in-process memo (the on-disk cache is untouched)."""
+    _MEMO.clear()
+
+
+def clear_disk_cache() -> int:
+    """Delete every persistent cache entry; returns the number removed."""
+    return disk_cache().clear()

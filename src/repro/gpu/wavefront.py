@@ -57,6 +57,14 @@ class GEMMShape:
     def output_bytes(self) -> int:
         return self.m * self.n * self.element_bytes
 
+    def to_dict(self) -> Dict[str, object]:
+        return {"m": self.m, "n": self.n, "k": self.k,
+                "element_bytes": self.element_bytes, "name": self.name}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "GEMMShape":
+        return cls(**data)
+
     def tp_sliced(self, tp: int) -> "GEMMShape":
         """Slice the dot-product (K) dimension ``tp`` ways (Figure 5).
 

@@ -101,6 +101,20 @@ class TransformerConfig:
         return [self.sublayer(name, tp) for name in
                 ("OP", "FC-2", "FC-1", "IP")]
 
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name, "hidden": self.hidden,
+            "n_layers": self.n_layers, "seq_len": self.seq_len,
+            "batch": self.batch, "ffn_mult": self.ffn_mult,
+            "element_bytes": self.element_bytes, "head_dim": self.head_dim,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TransformerConfig":
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class SubLayer:
@@ -125,3 +139,18 @@ class SubLayer:
     def occurrences_per_iteration(self) -> int:
         """How many times this sub-layer runs per training iteration."""
         return self.model.n_layers
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model.to_dict(), "name": self.name,
+            "phase": self.phase, "tp": self.tp,
+            "gemm": self.gemm.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SubLayer":
+        return cls(
+            model=TransformerConfig.from_dict(data["model"]),
+            name=data["name"], phase=data["phase"], tp=data["tp"],
+            gemm=GEMMShape.from_dict(data["gemm"]),
+        )

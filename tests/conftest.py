@@ -1,0 +1,13 @@
+"""Shared test fixtures.
+
+The sub-layer sweep persists results under ``~/.cache/repro-t3`` by
+default; tests must never touch (or be poisoned by) a developer's real
+cache, so the whole session is pointed at a throwaway directory before
+``repro`` builds its first :class:`SweepCache`.
+"""
+
+import os
+import tempfile
+
+_CACHE_DIR = tempfile.mkdtemp(prefix="repro-t3-test-cache-")
+os.environ["REPRO_T3_CACHE_DIR"] = _CACHE_DIR

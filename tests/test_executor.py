@@ -1,0 +1,194 @@
+"""Tests for the sweep execution layer: the process-pool case runner and
+the persistent content-addressed result cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import SystemConfig, table1_system
+from repro.experiments import executor, sublayer_sweep
+from repro.experiments.common import SublayerSuite
+from repro.experiments.executor import CaseSpec, SweepCache, run_cases
+from repro.models import zoo
+
+#: a cheap case set: TP=4, only the two simulated configurations.
+CONFIGS = ("Sequential", "T3")
+
+
+def _specs(names=("OP", "FC-2")):
+    system = table1_system(n_gpus=4)
+    return [
+        CaseSpec(sub=zoo.t_nlg().sublayer(name, 4),
+                 scale=sublayer_sweep.FAST_SCALE,
+                 system=system, configs=CONFIGS)
+        for name in names
+    ]
+
+
+def _assert_identical(a: SublayerSuite, b: SublayerSuite) -> None:
+    """Bit-for-bit equality of everything a figure consumes."""
+    assert a.label == b.label
+    assert a.shape == b.shape
+    assert a.system == b.system
+    assert (a.gemm_time, a.rs_time, a.ag_time) == \
+        (b.gemm_time, b.rs_time, b.ag_time)
+    assert a.times == b.times
+    assert a.traffic == b.traffic
+
+
+# ------------------------------------------------------------ fingerprints
+
+def test_case_fingerprint_is_content_addressed():
+    spec_a, spec_b = _specs(), _specs()
+    # Independently-constructed equal cases share one key ...
+    assert spec_a[0].fingerprint() == spec_b[0].fingerprint()
+    # ... and any ingredient change produces a different one.
+    assert spec_a[0].fingerprint() != spec_a[1].fingerprint()
+    rescaled = dataclasses.replace(spec_a[0], scale=1)
+    assert rescaled.fingerprint() != spec_a[0].fingerprint()
+    resys = dataclasses.replace(
+        spec_a[0], system=spec_a[0].system.with_fidelity(quantum_bytes=1))
+    assert resys.fingerprint() != spec_a[0].fingerprint()
+
+
+def test_case_spec_requires_frozen_hashable_system():
+    @dataclasses.dataclass
+    class MutableSystem:  # looks like a config, but is mutable
+        n_gpus: int = 4
+
+    with pytest.raises(TypeError, match="frozen"):
+        CaseSpec(sub=zoo.t_nlg().sublayer("OP", 4), scale=8,
+                 system=MutableSystem(), configs=CONFIGS)
+
+
+def test_code_fingerprint_is_stable_within_process():
+    assert executor.code_fingerprint() == executor.code_fingerprint()
+    assert len(executor.code_fingerprint()) == 64
+
+
+# ------------------------------------------------- parallel vs serial runs
+
+@pytest.fixture(scope="module")
+def serial_reference(tmp_path_factory):
+    cache = SweepCache(tmp_path_factory.mktemp("serial-cache"))
+    return run_cases(_specs(), jobs=1, cache=cache)
+
+
+def test_parallel_results_match_serial_bit_for_bit(serial_reference,
+                                                   tmp_path):
+    parallel = run_cases(_specs(), jobs=2, cache=SweepCache(tmp_path))
+    assert len(parallel) == len(serial_reference)
+    for serial_suite, parallel_suite in zip(serial_reference, parallel):
+        _assert_identical(serial_suite, parallel_suite)
+
+
+def test_results_preserve_case_order(serial_reference):
+    labels = [suite.label for suite in serial_reference]
+    assert labels == ["T-NLG/OP/TP4", "T-NLG/FC-2/TP4"]
+
+
+# ----------------------------------------------------------- cache behavior
+
+def test_cache_hit_on_second_run(serial_reference, tmp_path):
+    cache = SweepCache(tmp_path)
+    first = run_cases(_specs(), jobs=1, cache=cache)
+    assert cache.stats.misses == 2
+    assert cache.stats.simulated == 2
+    assert cache.stats.stores == 2
+    assert len(cache) == 2
+
+    # A fresh cache object over the same directory (== a new process).
+    warm = SweepCache(tmp_path)
+    second = run_cases(_specs(), jobs=1, cache=warm)
+    assert warm.stats.hits == 2
+    assert warm.stats.misses == 0
+    assert warm.stats.simulated == 0
+    for a, b in zip(first, second):
+        _assert_identical(a, b)
+
+
+def test_cache_invalidates_on_code_fingerprint_change(serial_reference,
+                                                      tmp_path,
+                                                      monkeypatch):
+    cache = SweepCache(tmp_path)
+    run_cases(_specs(), jobs=1, cache=cache)
+    assert cache.stats.simulated == 2
+
+    monkeypatch.setattr(executor, "code_fingerprint",
+                        lambda: "f" * 64)
+    stale = SweepCache(tmp_path)
+    run_cases(_specs(), jobs=1, cache=stale)
+    assert stale.stats.hits == 0           # old entries never returned
+    assert stale.stats.simulated == 2
+
+
+def test_cache_survives_and_drops_corrupt_entries(tmp_path):
+    cache = SweepCache(tmp_path)
+    [spec] = _specs(names=("OP",))
+    key = spec.fingerprint()
+    suite = run_cases([spec], jobs=1, cache=cache)[0]
+
+    # Round-trips through JSON exactly.
+    restored = SublayerSuite.from_dict(
+        json.loads((tmp_path / f"{key}.json").read_text()))
+    _assert_identical(suite, restored)
+
+    # A truncated entry is dropped, not fatal.
+    (tmp_path / f"{key}.json").write_text("{not json")
+    recovering = SweepCache(tmp_path)
+    assert recovering.get(key) is None
+    assert not (tmp_path / f"{key}.json").exists()
+
+
+def test_disabled_cache_never_touches_disk(tmp_path):
+    cache = SweepCache(tmp_path, enabled=False)
+    [spec] = _specs(names=("OP",))
+    run_cases([spec], jobs=1, cache=cache)
+    assert len(cache) == 0
+    assert cache.stats.misses == 1
+    assert cache.stats.simulated == 1
+
+
+def test_clear_removes_entries(tmp_path):
+    cache = SweepCache(tmp_path)
+    run_cases(_specs(names=("OP",)), jobs=1, cache=cache)
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+# ----------------------------------------------------- sweep-level plumbing
+
+def test_run_sweep_jobs_matches_serial(tmp_path):
+    cases = [zoo.t_nlg().sublayer(n, 4) for n in ("OP", "FC-2")]
+    serial = sublayer_sweep.run_sweep(cases=cases, jobs=1,
+                                      configs=CONFIGS)
+    sublayer_sweep.clear_cache()
+    sublayer_sweep.clear_disk_cache()
+    parallel = sublayer_sweep.run_sweep(cases=cases, jobs=2,
+                                        configs=CONFIGS)
+    for a, b in zip(serial, parallel):
+        _assert_identical(a, b)
+    sublayer_sweep.clear_cache()
+    sublayer_sweep.clear_disk_cache()
+
+
+def test_configure_rejects_bad_jobs():
+    with pytest.raises(ValueError, match="jobs"):
+        sublayer_sweep.configure(jobs=0)
+
+
+def test_suite_dict_roundtrip_is_exact(serial_reference):
+    for suite in serial_reference:
+        clone = SublayerSuite.from_dict(
+            json.loads(json.dumps(suite.to_dict())))
+        _assert_identical(suite, clone)
+
+
+def test_system_config_roundtrip_and_content_hash():
+    system = table1_system(n_gpus=16).with_fidelity(quantum_bytes=4096)
+    clone = SystemConfig.from_dict(json.loads(json.dumps(system.to_dict())))
+    assert clone == system
+    assert clone.content_hash() == system.content_hash()
+    assert clone.content_hash() != table1_system(16).content_hash()

@@ -34,6 +34,44 @@ def test_run_case_rejects_tp_mismatched_system():
         sublayer_sweep.run_case(sub, system=table1_system(n_gpus=4))
 
 
+def test_run_case_rejects_unknown_config_name():
+    """Regression: a typo like "T3-mca" used to be silently dropped and
+    only surfaced later as a KeyError in SublayerSuite.speedup()."""
+    sub = zoo.t_nlg().sublayer("OP", 4)
+    with pytest.raises(ValueError, match="T3-mca"):
+        sublayer_sweep.run_case(sub, system=table1_system(n_gpus=4),
+                                configs=["Sequential", "T3-mca"])
+
+
+def test_run_sublayer_suite_rejects_unknown_config_name():
+    from repro.experiments.common import run_sublayer_suite
+    from repro.gpu.wavefront import GEMMShape
+    with pytest.raises(ValueError, match="Ideal-NMC"):
+        run_sublayer_suite(table1_system(n_gpus=4),
+                           GEMMShape(2048, 1024, 1024),
+                           configs=["Ideal-NMC"])
+
+
+def test_run_case_rejects_unchunkable_shape():
+    """Regression: when the unscaled M is already below the min_m the
+    sweep computes from tp and the macro-tile, the old code silently
+    clamped and let ring fusion fail downstream; now it raises."""
+    tiny = zoo.TransformerConfig("tiny", hidden=128, n_layers=2,
+                                 seq_len=64, batch=1)
+    sub = tiny.sublayer("OP", 4)   # tokens=64 < min_m=4*128
+    with pytest.raises(ValueError, match="min_m"):
+        sublayer_sweep.run_case(sub, system=table1_system(n_gpus=4))
+
+
+def test_scaled_shape_rejects_m_below_floor():
+    from repro.experiments.common import scaled_shape
+    from repro.gpu.wavefront import GEMMShape
+    with pytest.raises(ValueError, match="min_m"):
+        scaled_shape(GEMMShape(128, 1024, 1024), 8, min_m=512)
+    with pytest.raises(ValueError, match="min_m"):
+        scaled_shape(GEMMShape(128, 1024, 1024), 1, min_m=512)
+
+
 def test_default_cases_grids():
     small = sublayer_sweep.default_cases()
     assert len(small) == 16

@@ -1,15 +1,23 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke-cache results clean-cache
+.PHONY: test check smoke-cache smoke-faults results clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Everything CI runs: the tier-1 suite plus both smoke tests.
+check: test smoke-cache smoke-faults
 
 # Cache smoke test: figure16 twice; the second run must hit the persistent
 # sweep cache (zero simulations), be much faster, and render identically.
 smoke-cache:
 	$(PYTHON) scripts/smoke_cache.py
+
+# Fault-harness smoke test: empty-plan transparency, seeded-fault
+# determinism, and dropped-DMA hang diagnosability.
+smoke-faults:
+	$(PYTHON) scripts/smoke_faults.py
 
 # Regenerate results/ (fast mode).  JOBS workers for cache misses.
 JOBS ?= 1

@@ -86,7 +86,13 @@ class _RingCollectiveBase:
             if reads:
                 yield self.env.all_of(reads)
         if cu_bytes:
-            yield from reduce_unit.acquire(hold=cu_bytes / cu_bw)
+            hold = cu_bytes / cu_bw
+            if self.env.faults is not None:
+                # Straggler seam: the CU reduction of a slowed GPU paces
+                # its ring step exactly like a slowed GEMM wave.
+                hold *= self.env.faults.compute_factor(gpu.gpu_id,
+                                                      self.env.now)
+            yield from reduce_unit.acquire(hold=hold)
         yield gpu.link_to(self.topo.gpus[dst_rank].gpu_id).transfer(nbytes)
         # Arriving writes are tagged with the chunk they deliver, so a T3
         # Tracker at the receiver can gate consumers on chunk arrival

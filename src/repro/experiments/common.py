@@ -25,6 +25,7 @@ from repro.analysis.traffic import DramBreakdown, collect_breakdown
 from repro.collectives.baseline import RingAllGather, RingReduceScatter
 from repro.collectives.api import rs_with_nmc_time
 from repro.config import SystemConfig
+from repro.faults import FaultInjector, FaultPlan, InvariantChecker
 from repro.gpu.gemm import GEMMKernel
 from repro.gpu.wavefront import GEMMShape, TileGrid
 from repro.interconnect.topology import RingTopology
@@ -120,17 +121,27 @@ def scaled_shape(shape: GEMMShape, scale: int, min_m: int = 256) -> GEMMShape:
 
 
 def _fresh_topology(system: SystemConfig, policy: str,
-                    record_traffic: bool = False) -> Tuple[Environment, RingTopology]:
+                    record_traffic: bool = False,
+                    faults: Optional[FaultPlan] = None,
+                    check_invariants: bool = False,
+                    ) -> Tuple[Environment, RingTopology]:
     env = Environment()
+    if faults is not None:
+        env.faults = FaultInjector(faults)
+    if check_invariants:
+        env.invariants = InvariantChecker(env)
     if record_traffic:
         system = system.with_fidelity(record_traffic=True)
     return env, RingTopology(env, system, policy_name=policy)
 
 
 def _run_sequential(system: SystemConfig, shape: GEMMShape,
-                    record_traffic: bool = False):
+                    record_traffic: bool = False,
+                    faults: Optional[FaultPlan] = None,
+                    check_invariants: bool = False):
     """GEMM on all GPUs, then ring-RS, then ring-AG; returns parts."""
-    env, topo = _fresh_topology(system, "compute-priority", record_traffic)
+    env, topo = _fresh_topology(system, "compute-priority", record_traffic,
+                                faults, check_invariants)
     kernels = []
     for gpu in topo.gpus:
         grid = TileGrid(shape, system.gemm, n_cus=system.compute.n_cus)
@@ -140,24 +151,32 @@ def _run_sequential(system: SystemConfig, shape: GEMMShape,
     procs = [gpu.launch(k) for gpu, k in zip(topo.gpus, kernels)]
     env.run()
     if any(not p.fired for p in procs):
-        raise RuntimeError("sequential GEMM never finished")
+        raise RuntimeError("sequential GEMM never finished\n"
+                           + env.diagnostic_dump())
     gemm_time = max(k.result.duration for k in kernels)
 
     rs = RingReduceScatter(topo, nbytes_total=shape.output_bytes)
     rs_time = rs.run().duration
     ag = RingAllGather(topo, nbytes_total=shape.output_bytes)
     ag_time = ag.run().duration
+    if env.invariants is not None:
+        env.invariants.check_all()
     return topo, gemm_time, rs_time, ag_time
 
 
 def _run_fused(system: SystemConfig, shape: GEMMShape, config: RunConfig,
-               record_traffic: bool = False):
-    env, topo = _fresh_topology(system, config.mc_policy, record_traffic)
+               record_traffic: bool = False,
+               faults: Optional[FaultPlan] = None,
+               check_invariants: bool = False):
+    env, topo = _fresh_topology(system, config.mc_policy, record_traffic,
+                                faults, check_invariants)
     fused = FusedGEMMRS(topo, shape,
                         calibrate_mca=(config.mc_policy == "mca"))
     fused_result = fused.run()
     ag = RingAllGather(topo, nbytes_total=shape.output_bytes)
     ag_time = ag.run().duration
+    if env.invariants is not None:
+        env.invariants.check_all()
     total = fused_result.duration + ag_time
     return topo, fused, total
 
@@ -165,8 +184,17 @@ def _run_fused(system: SystemConfig, shape: GEMMShape, config: RunConfig,
 def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
                        label: str = "",
                        configs: Optional[List[str]] = None,
-                       record_traffic: bool = False) -> SublayerSuite:
-    """Run every requested configuration on one sub-layer GEMM shape."""
+                       record_traffic: bool = False,
+                       faults: Optional[FaultPlan] = None,
+                       check_invariants: bool = False) -> SublayerSuite:
+    """Run every requested configuration on one sub-layer GEMM shape.
+
+    ``faults`` injects a :class:`~repro.faults.FaultPlan` into every
+    simulated configuration (each gets a fresh, identically-seeded
+    injector); ``check_invariants`` attaches an
+    :class:`~repro.faults.InvariantChecker` to every run.  Both are
+    observationally transparent when the plan is empty / checks pass.
+    """
     wanted = configs or list(KNOWN_CONFIG_NAMES)
     unknown = [name for name in wanted if name not in KNOWN_CONFIG_NAMES]
     if unknown:
@@ -176,7 +204,8 @@ def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
     suite = SublayerSuite(label=label or shape.name, shape=shape,
                           system=system)
 
-    topo, gemm_t, rs_t, ag_t = _run_sequential(system, shape, record_traffic)
+    topo, gemm_t, rs_t, ag_t = _run_sequential(system, shape, record_traffic,
+                                               faults, check_invariants)
     suite.gemm_time, suite.rs_time, suite.ag_time = gemm_t, rs_t, ag_t
     suite.times["Sequential"] = gemm_t + rs_t + ag_t
     suite.traffic["Sequential"] = collect_breakdown(topo.gpus)
@@ -185,7 +214,8 @@ def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
         if name not in wanted:
             continue
         topo_f, _fused, total = _run_fused(
-            system, shape, config_by_name(name), record_traffic)
+            system, shape, config_by_name(name), record_traffic,
+            faults, check_invariants)
         suite.times[name] = total
         suite.traffic[name] = collect_breakdown(topo_f.gpus)
 

@@ -29,12 +29,19 @@ import json
 import os
 import pathlib
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
+    FutureTimeoutError
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig
 from repro.experiments.common import SublayerSuite
+from repro.faults import FaultPlan
 from repro.models.transformer import SubLayer
+
+
+class SweepExecutionWarning(UserWarning):
+    """A sweep worker failed; execution fell back to in-process serial."""
 
 #: environment override for the default cache location.
 CACHE_DIR_ENV = "REPRO_T3_CACHE_DIR"
@@ -82,6 +89,12 @@ class CaseSpec:
     scale: int
     system: SystemConfig
     configs: Tuple[str, ...] = ()
+    #: optional fault plan injected into every simulated configuration;
+    #: part of the cache key (a faulted run must never alias a clean one).
+    faults: Optional[FaultPlan] = None
+    #: attach an InvariantChecker to every run (observationally
+    #: transparent, but keyed separately so violations re-check).
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         # The cache key hashes the system's *content*; that is only sound
@@ -101,15 +114,20 @@ class CaseSpec:
             "scale": self.scale,
             "system": self.system.to_dict(),
             "configs": list(self.configs),
+            "faults": self.faults.to_dict() if self.faults else None,
+            "check_invariants": self.check_invariants,
         }
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "CaseSpec":
+        faults = payload.get("faults")
         return cls(
             sub=SubLayer.from_dict(payload["sub"]),
             scale=payload["scale"],
             system=SystemConfig.from_dict(payload["system"]),
             configs=tuple(payload["configs"]),
+            faults=FaultPlan.from_dict(faults) if faults else None,
+            check_invariants=payload.get("check_invariants", False),
         )
 
     def fingerprint(self) -> str:
@@ -222,7 +240,8 @@ def _simulate_payload(payload: Dict[str, object]) -> Dict[str, object]:
 
     spec = CaseSpec.from_payload(payload)
     suite = sublayer_sweep.simulate_case(
-        spec.sub, spec.scale, spec.system, list(spec.configs) or None)
+        spec.sub, spec.scale, spec.system, list(spec.configs) or None,
+        faults=spec.faults, check_invariants=spec.check_invariants)
     return suite.to_dict()
 
 
@@ -230,6 +249,7 @@ def run_cases(specs: Sequence[CaseSpec],
               jobs: int = 1,
               cache: Optional[SweepCache] = None,
               progress: Optional[Callable[[str], None]] = None,
+              timeout_s: Optional[float] = None,
               ) -> List[SublayerSuite]:
     """Run (or recall) every case; returns suites in ``specs`` order.
 
@@ -237,6 +257,14 @@ def run_cases(specs: Sequence[CaseSpec],
     in-process when ``jobs <= 1`` or there is a single miss, else across a
     ``ProcessPoolExecutor`` with ``jobs`` workers.  Results are written
     back to the cache by the parent process only.
+
+    The parallel path is crash-tolerant: a worker that dies (OOM-kill,
+    segfault, ``BrokenProcessPool``), raises, or exceeds ``timeout_s``
+    does not abort the sweep — the affected cases are retried once,
+    in-process and serial, with a :class:`SweepExecutionWarning`.  Only a
+    case that *also* fails in-process propagates its error (a genuine
+    simulation bug rather than a host problem).  Results already computed
+    and cached by healthy workers are kept either way.
     """
     results: List[Optional[SublayerSuite]] = [None] * len(specs)
     pending: List[Tuple[int, CaseSpec, str]] = []
@@ -262,20 +290,73 @@ def run_cases(specs: Sequence[CaseSpec],
         if progress:
             progress(f"  case {spec.sub.label} done in {elapsed:.1f}s")
 
-    if len(pending) <= 1 or jobs <= 1:
-        for index, spec, key in pending:
+    def run_serial(cases: Sequence[Tuple[int, CaseSpec, str]]) -> None:
+        for index, spec, key in cases:
             started = time.time()
             suite = SublayerSuite.from_dict(
                 _simulate_payload(spec.to_payload()))
             finish(index, spec, key, suite, time.time() - started)
+
+    if len(pending) <= 1 or jobs <= 1:
+        run_serial(pending)
     else:
-        workers = min(jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            started = time.time()
-            futures = [(index, spec, key,
-                        pool.submit(_simulate_payload, spec.to_payload()))
-                       for index, spec, key in pending]
-            for index, spec, key, future in futures:
-                suite = SublayerSuite.from_dict(future.result())
-                finish(index, spec, key, suite, time.time() - started)
+        failed = _run_parallel(pending, min(jobs, len(pending)), finish,
+                               timeout_s)
+        if failed:
+            cases, first_error = failed
+            warnings.warn(
+                f"{len(cases)} sweep case(s) failed in worker processes "
+                f"({type(first_error).__name__}: {first_error}); retrying "
+                "in-process serially",
+                SweepExecutionWarning, stacklevel=2)
+            if progress:
+                progress(f"  retrying {len(cases)} failed case(s) "
+                         "in-process")
+            run_serial(cases)
     return [suite for suite in results if suite is not None]
+
+
+def _run_parallel(pending: Sequence[Tuple[int, CaseSpec, str]],
+                  workers: int,
+                  finish: Callable[[int, CaseSpec, str, SublayerSuite, float],
+                                   None],
+                  timeout_s: Optional[float],
+                  ) -> Optional[Tuple[List[Tuple[int, CaseSpec, str]],
+                                      BaseException]]:
+    """Fan ``pending`` over a process pool; collect per-case failures.
+
+    Returns ``None`` when every case succeeded, else ``(failed_cases,
+    first_error)``.  A ``BrokenProcessPool`` poisons every outstanding
+    future, so all of them land in ``failed_cases`` and are retried by the
+    caller; the pool is shut down without waiting so a wedged worker
+    cannot hang the sweep.
+    """
+    failed: List[Tuple[int, CaseSpec, str]] = []
+    first_error: Optional[BaseException] = None
+    pool = ProcessPoolExecutor(max_workers=workers)
+    healthy = True
+    try:
+        started = time.time()
+        futures = [(index, spec, key,
+                    pool.submit(_simulate_payload, spec.to_payload()))
+                   for index, spec, key in pending]
+        for index, spec, key, future in futures:
+            try:
+                suite = SublayerSuite.from_dict(future.result(timeout_s))
+            except FutureTimeoutError as exc:
+                future.cancel()
+                healthy = False
+                failed.append((index, spec, key))
+                first_error = first_error or exc
+            except Exception as exc:
+                failed.append((index, spec, key))
+                first_error = first_error or exc
+            else:
+                finish(index, spec, key, suite, time.time() - started)
+    finally:
+        # After a timeout a worker may be wedged mid-simulation; waiting
+        # on it would hang the parent, so orphan it instead.
+        pool.shutdown(wait=healthy, cancel_futures=True)
+    if failed:
+        return failed, first_error
+    return None

@@ -22,9 +22,9 @@ import time
 from typing import Callable, Dict
 
 from repro.experiments import (
-    dp_overlap, extensions, figure4, figure6, figure15, figure16, figure17,
-    figure18, figure19, figure20, related_work, sublayer_sweep, tables,
-    validation,
+    dp_overlap, extensions, fault_sweep, figure4, figure6, figure15,
+    figure16, figure17, figure18, figure19, figure20, related_work,
+    sublayer_sweep, tables, validation,
 )
 
 EXPERIMENTS: Dict[str, Callable] = {
@@ -48,6 +48,8 @@ EXPERIMENTS: Dict[str, Callable] = {
     "consumer-fusion": extensions.run_consumer_fusion,
     "in-switch": related_work.run,
     "dp-overlap": dp_overlap.run,
+    # Robustness study: speedup degradation under injected faults.
+    "fault-sweep": fault_sweep.run,
 }
 
 

@@ -35,6 +35,7 @@ from repro.experiments.executor import (
     SweepCache,
     run_cases,
 )
+from repro.faults import FaultPlan
 from repro.models import zoo
 from repro.models.transformer import SubLayer
 
@@ -115,7 +116,9 @@ def default_cases(large: bool = False) -> List[SubLayer]:
 
 def _resolve_spec(sub: SubLayer, fast: bool,
                   system: Optional[SystemConfig],
-                  configs: Optional[Sequence[str]]) -> CaseSpec:
+                  configs: Optional[Sequence[str]],
+                  faults: Optional[FaultPlan] = None,
+                  check_invariants: bool = False) -> CaseSpec:
     """Apply TP defaults and full-mode fidelity; returns the final spec."""
     base_system = system or table1_system(n_gpus=sub.tp)
     if base_system.n_gpus != sub.tp:
@@ -127,11 +130,14 @@ def _resolve_spec(sub: SubLayer, fast: bool,
                               FULL_MODE_QUANTUM))
     scale = FAST_SCALE if fast else 1
     return CaseSpec(sub=sub, scale=scale, system=base_system,
-                    configs=tuple(configs or ()))
+                    configs=tuple(configs or ()),
+                    faults=faults, check_invariants=check_invariants)
 
 
 def simulate_case(sub: SubLayer, scale: int, system: SystemConfig,
-                  configs: Optional[List[str]] = None) -> SublayerSuite:
+                  configs: Optional[List[str]] = None,
+                  faults: Optional[FaultPlan] = None,
+                  check_invariants: bool = False) -> SublayerSuite:
     """Simulate one fully-resolved case (no caching; executor workers and
     the serial path both land here)."""
     # Keep the scaled output chunkable: need >= tp workgroup tiles.
@@ -140,18 +146,24 @@ def simulate_case(sub: SubLayer, scale: int, system: SystemConfig,
     min_m = rows_needed * system.gemm.macro_tile_m
     shape = scaled_shape(sub.gemm, scale, min_m=min_m)
     return run_sublayer_suite(system, shape, label=sub.label,
-                              configs=configs)
+                              configs=configs, faults=faults,
+                              check_invariants=check_invariants)
 
 
 def run_case(sub: SubLayer, fast: bool = True,
              system: Optional[SystemConfig] = None,
              configs: Optional[List[str]] = None,
-             use_cache: bool = True) -> SublayerSuite:
+             use_cache: bool = True,
+             faults: Optional[FaultPlan] = None,
+             check_invariants: bool = False) -> SublayerSuite:
     """Run one case through the memo + persistent cache."""
-    spec = _resolve_spec(sub, fast, system, configs)
+    spec = _resolve_spec(sub, fast, system, configs, faults,
+                         check_invariants)
     if not use_cache:
         return simulate_case(spec.sub, spec.scale, spec.system,
-                             list(spec.configs) or None)
+                             list(spec.configs) or None,
+                             faults=spec.faults,
+                             check_invariants=spec.check_invariants)
     key = spec.fingerprint()
     if key in _MEMO:
         return _MEMO[key]
@@ -165,19 +177,24 @@ def run_sweep(fast: bool = True, large: bool = False,
               system_for_tp=None,
               configs: Optional[Sequence[str]] = None,
               jobs: Optional[int] = None,
-              progress=None) -> List[SublayerSuite]:
+              progress=None,
+              faults: Optional[FaultPlan] = None,
+              check_invariants: bool = False) -> List[SublayerSuite]:
     """Run all cases; returns one suite per case, in case order.
 
     ``jobs`` (default: the :func:`configure` setting) bounds the number of
     worker processes used for cache-missing cases; cached cases are never
     re-simulated.  ``system_for_tp`` maps a TP degree to a custom
     :class:`SystemConfig`; ``configs`` restricts the per-case suite.
+    ``faults`` / ``check_invariants`` are part of each case's cache key,
+    so faulty runs never collide with healthy ones.
     """
     selected = list(cases) if cases is not None else default_cases(large)
     specs: List[CaseSpec] = []
     for sub in selected:
         system = system_for_tp(sub.tp) if system_for_tp else None
-        specs.append(_resolve_spec(sub, fast, system, configs))
+        specs.append(_resolve_spec(sub, fast, system, configs,
+                                   faults, check_invariants))
 
     keys = [spec.fingerprint() for spec in specs]
     missing = [(spec, key) for spec, key in zip(specs, keys)

@@ -1,0 +1,34 @@
+"""Fault injection and invariant checking for the T3 simulator.
+
+``env.faults`` (a :class:`FaultInjector` realizing a :class:`FaultPlan`)
+injects stragglers, degraded links, misdelivered DMA completions and
+Tracker entry-table pressure at the simulator's natural seams;
+``env.invariants`` (an :class:`InvariantChecker`) verifies that the
+properties T3 depends on — byte conservation, Tracker monotonicity,
+single-fire triggers — hold anyway.  Both attributes default to ``None``
+and are purely observational when attached with no faults, so the
+baseline figures are unaffected.  See ``docs/faults.md``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.plan import (
+    ANY,
+    ComputeSlowdown,
+    DMACompletionFault,
+    FaultPlan,
+    LinkDegradation,
+    TrackerPressure,
+)
+
+__all__ = [
+    "ANY",
+    "ComputeSlowdown",
+    "DMACompletionFault",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantChecker",
+    "InvariantViolation",
+    "LinkDegradation",
+    "TrackerPressure",
+]

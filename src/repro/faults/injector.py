@@ -1,0 +1,149 @@
+"""Per-run fault injection state for one :class:`FaultPlan`.
+
+A :class:`FaultInjector` is attached to an
+:class:`~repro.sim.engine.Environment` as ``env.faults`` (``None`` by
+default, exactly like ``env.trace``).  Components consult it at their
+natural seams:
+
+* :meth:`compute_factor` — GEMM wave slices
+  (:mod:`repro.gpu.gemm`) and baseline-collective CU reductions
+  (:mod:`repro.collectives.baseline`) scale their compute time by it;
+* :meth:`link_parameters` — topologies
+  (:mod:`repro.interconnect.topology`) degrade pipe bandwidth/latency at
+  wiring time;
+* :meth:`transfer_stall` — :class:`~repro.sim.primitives.Pipe` adds a
+  transient stall per matching transfer;
+* :meth:`dma_completion_fault` — :class:`~repro.gpu.dma.DMAEngine`
+  drops / delays / duplicates completion notifications;
+* :meth:`tracker_eviction_due` — :class:`~repro.t3.tracker.Tracker`
+  force-evicts a live entry under table pressure.
+
+Every stochastic decision (transient-stall coin flips) is drawn from a
+SHA-256 hash of ``(plan.seed, seam key, per-key counter)``, never from
+global RNG state or wall-clock time, so a plan replays identically
+regardless of which order different entities reach their seams in.  With
+an *empty* plan every query returns its exact identity value (factor
+``1.0``, stall ``0.0``, unchanged link parameters, no DMA fault), so
+attaching an injector with no faults is observationally transparent —
+results stay bit-identical to ``env.faults is None``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.plan import DMACompletionFault, FaultPlan
+
+
+class FaultInjector:
+    """Mutable per-simulation state realizing one :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan):
+        if not isinstance(plan, FaultPlan):
+            raise TypeError(f"expected a FaultPlan, got {type(plan).__name__}")
+        self.plan = plan
+        #: remaining affected-completion budget per plan.dma entry.
+        self._dma_budgets: List[int] = [f.max_events for f in plan.dma]
+        #: per-(seam, entity) draw counters for deterministic coin flips.
+        self._draw_counters: Dict[Tuple, int] = {}
+        #: per-(fault index, gpu) program_region counters.
+        self._pressure_counters: Dict[Tuple[int, int], int] = {}
+        #: audit log of every fault actually applied, in application order.
+        self.applied: List[Tuple] = []
+
+    # -- deterministic pseudo-randomness ------------------------------------
+
+    def _draw(self, key: Tuple) -> float:
+        """A uniform [0, 1) draw keyed on (seed, key, per-key counter)."""
+        count = self._draw_counters.get(key, 0)
+        self._draw_counters[key] = count + 1
+        digest = hashlib.sha256(
+            repr((self.plan.seed, key, count)).encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+    # -- compute (straggler) seam -------------------------------------------
+
+    def compute_factor(self, gpu_id: int, now: float) -> float:
+        """Multiplier on compute time for ``gpu_id`` at sim time ``now``."""
+        factor = 1.0
+        for fault in self.plan.compute:
+            if fault.matches(gpu_id, now):
+                factor *= fault.factor
+        return factor
+
+    # -- link seams -----------------------------------------------------------
+
+    def link_parameters(self, src: int, dst: int, bandwidth: float,
+                        latency_ns: float) -> Tuple[float, float]:
+        """Degraded (bandwidth, latency) for the directed link src->dst."""
+        for fault in self.plan.links:
+            if fault.matches_link(src, dst):
+                if fault.bandwidth_factor != 1.0 or fault.extra_latency_ns:
+                    self.applied.append(
+                        ("link-degraded", src, dst, fault.bandwidth_factor))
+                bandwidth *= fault.bandwidth_factor
+                latency_ns += fault.extra_latency_ns
+        return bandwidth, latency_ns
+
+    def transfer_stall(self, src: int, dst: int, now: float) -> float:
+        """Extra stall (ns) imposed on one transfer starting now."""
+        stall = 0.0
+        for index, fault in enumerate(self.plan.links):
+            if not fault.matches_link(src, dst) or not fault.stalls_at(now):
+                continue
+            if (fault.stall_probability >= 1.0
+                    or self._draw(("stall", index, src, dst))
+                    < fault.stall_probability):
+                stall += fault.stall_ns
+                self.applied.append(("link-stall", src, dst, fault.stall_ns))
+        return stall
+
+    # -- DMA completion seam ---------------------------------------------------
+
+    def dma_completion_fault(self, gpu_id: int,
+                             command_id: str) -> Optional[DMACompletionFault]:
+        """The fault (if any) to apply to this completion notification.
+
+        Each plan entry affects at most ``max_events`` completions, in
+        notification order; the first matching entry with budget wins.
+        """
+        for index, fault in enumerate(self.plan.dma):
+            if self._dma_budgets[index] <= 0:
+                continue
+            if fault.matches(gpu_id, command_id):
+                self._dma_budgets[index] -= 1
+                self.applied.append(
+                    ("dma-" + fault.action, gpu_id, command_id))
+                return fault
+        return None
+
+    # -- Tracker pressure seam -------------------------------------------------
+
+    def tracker_eviction_due(self, gpu_id: int) -> bool:
+        """Called once per ``program_region``; True when the entry table
+        must force-evict a victim before programming this region."""
+        due = False
+        for index, fault in enumerate(self.plan.tracker):
+            if not fault.matches(gpu_id):
+                continue
+            key = (index, gpu_id)
+            count = self._pressure_counters.get(key, 0) + 1
+            self._pressure_counters[key] = count
+            if count % fault.evict_every == 0:
+                due = True
+        return due
+
+    def record_eviction(self, gpu_id: int, region_key: Tuple) -> None:
+        self.applied.append(("tracker-evict", gpu_id, region_key))
+
+    # -- reporting ---------------------------------------------------------------
+
+    def summary(self) -> str:
+        if not self.applied:
+            return "no faults applied"
+        kinds: Dict[str, int] = {}
+        for record in self.applied:
+            kinds[record[0]] = kinds.get(record[0], 0) + 1
+        return ", ".join(f"{kind} x{count}"
+                         for kind, count in sorted(kinds.items()))

@@ -1,0 +1,129 @@
+"""Simulation invariants: what must hold even when faults are injected.
+
+An :class:`InvariantChecker` is attached to an
+:class:`~repro.sim.engine.Environment` as ``env.invariants`` (``None`` by
+default).  Components self-register when built against such an
+environment and report observations at their existing code paths; the
+checker never schedules events or alters state, so enabling it is
+observationally transparent — timing results stay bit-identical.
+
+Checked invariants (Sections 4.2.1-4.2.2 of the paper):
+
+* **Byte conservation** — every byte enqueued on an HBM channel is
+  eventually serviced (``bytes_enqueued == bytes_serviced`` at
+  quiescence, per channel).
+* **Tracker monotonicity / no-overshoot** — region update counts only
+  grow, by non-negative amounts, and never exceed the programmed
+  expectation (``received_bytes <= expected_bytes``).
+* **Single-fire triggers** — each trigger block and each DMA command
+  fires exactly once; duplicated DMA completion notifications must be
+  absorbed, not re-fired.
+
+Violations raise :class:`InvariantViolation` (a
+:class:`~repro.sim.engine.SimulationError`) at the observation point,
+with the environment's diagnostic dump appended so a failure is
+immediately attributable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.sim.engine import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.memory.controller import MemoryController
+    from repro.t3.tracker import Tracker, TrackerEntry
+
+
+class InvariantViolation(SimulationError):
+    """A simulation invariant was broken."""
+
+
+class InvariantChecker:
+    """Collects observations from sim components and enforces invariants."""
+
+    #: absolute slack for byte-conservation comparisons (requests carry
+    #: integer byte counts, but the accumulators are floats).
+    BYTE_TOLERANCE = 1e-6
+
+    def __init__(self, env):
+        self.env = env
+        self._controllers: List["MemoryController"] = []
+        self._trackers: List[Tuple[int, "Tracker"]] = []
+        self._trigger_fires: Dict[str, int] = {}
+        self.credits_observed = 0
+        self.duplicates_absorbed = 0
+        self.checks_run = 0
+
+    # -- registration (done by component constructors) -----------------------
+
+    def register_controller(self, controller: "MemoryController") -> None:
+        self._controllers.append(controller)
+
+    def register_tracker(self, gpu_id: int, tracker: "Tracker") -> None:
+        self._trackers.append((gpu_id, tracker))
+
+    # -- observations (called from existing component code paths) -------------
+
+    def on_tracker_credit(self, gpu_id: int, entry: "TrackerEntry",
+                          nbytes: float) -> None:
+        """After a region entry was credited ``nbytes``."""
+        self.credits_observed += 1
+        if nbytes < 0:
+            self._violate(
+                f"tracker monotonicity: region {entry.key} on GPU {gpu_id} "
+                f"credited negative bytes ({nbytes})")
+        if entry.received_bytes > entry.expected_bytes:
+            self._violate(
+                f"tracker overshoot: region {entry.key} on GPU {gpu_id} "
+                f"received {entry.received_bytes} of expected "
+                f"{entry.expected_bytes} bytes")
+
+    def on_trigger_fired(self, owner: str) -> None:
+        """A trigger block (or DMA command) fired; ``owner`` names it."""
+        count = self._trigger_fires.get(owner, 0) + 1
+        self._trigger_fires[owner] = count
+        if count > 1:
+            self._violate(f"single-fire violated: {owner} fired {count} times")
+
+    def on_duplicate_absorbed(self, gpu_id: int, command_id: str) -> None:
+        """A duplicated DMA completion was delivered and absorbed (the
+        exactly-once contract held despite the duplicate)."""
+        self.duplicates_absorbed += 1
+
+    # -- end-of-run checks ------------------------------------------------------
+
+    def check_byte_conservation(self) -> None:
+        """At quiescence: every enqueued byte was serviced, per channel."""
+        self.checks_run += 1
+        for controller in self._controllers:
+            for channel in controller.channels:
+                delta = channel.bytes_enqueued - channel.bytes_serviced
+                if abs(delta) > self.BYTE_TOLERANCE:
+                    self._violate(
+                        f"byte conservation: GPU {controller.gpu_id} channel "
+                        f"{channel.channel_id} enqueued "
+                        f"{channel.bytes_enqueued} but serviced "
+                        f"{channel.bytes_serviced} bytes")
+                if not channel.idle:
+                    self._violate(
+                        f"byte conservation: GPU {controller.gpu_id} channel "
+                        f"{channel.channel_id} still has queued requests at "
+                        "quiescence")
+
+    def check_all(self) -> None:
+        """Every end-of-run invariant; call once the schedule has drained."""
+        self.check_byte_conservation()
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _violate(self, message: str) -> None:
+        raise InvariantViolation(
+            f"{message}\n{self.env.diagnostic_dump()}")
+
+    def summary(self) -> str:
+        return (f"{self.credits_observed} tracker credits, "
+                f"{len(self._trigger_fires)} single-fire owners, "
+                f"{self.duplicates_absorbed} duplicates absorbed, "
+                f"{self.checks_run} conservation checks")

@@ -1,0 +1,233 @@
+"""Declarative fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a frozen, hashable, JSON-round-trippable bundle of
+fault specifications — the same serialization contract as
+:class:`~repro.config.SystemConfig`, so a plan can ride inside a sweep
+:class:`~repro.experiments.executor.CaseSpec` and participate in the
+content-addressed result cache.  A plan describes *intent* only; the
+per-run mutable state (counters, pseudo-random draws) lives in
+:class:`~repro.faults.injector.FaultInjector`, which is rebuilt per
+:class:`~repro.sim.engine.Environment` so every simulation of a plan is
+bit-for-bit deterministic.
+
+Four fault families, wired at the simulator's natural seams:
+
+* :class:`ComputeSlowdown` — a straggler GPU: compute time scaled by
+  ``factor`` (GEMM stage slices and baseline-collective CU reductions).
+* :class:`LinkDegradation` — a sick inter-GPU link: static bandwidth /
+  latency degradation applied when the topology is wired, plus optional
+  per-transfer transient stalls inside a time window.
+* :class:`DMACompletionFault` — the Tracker->DMA notification path
+  misbehaving: completions delayed, duplicated, or dropped outright
+  (the forced-hang scenario the watchdog must catch).
+* :class:`TrackerPressure` — entry-table pressure: force-evict a live
+  Tracker entry every N-th ``program_region``, losing its update counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+#: wildcard for "any GPU" / "any endpoint".
+ANY = -1
+
+#: the DMA-completion fault actions.
+DMA_ACTIONS = ("drop", "delay", "duplicate")
+
+
+def _window_ok(start_ns: float, end_ns: Optional[float]) -> None:
+    if start_ns < 0:
+        raise ValueError("fault window cannot start before t=0")
+    if end_ns is not None and end_ns <= start_ns:
+        raise ValueError("fault window must end after it starts")
+
+
+def _in_window(start_ns: float, end_ns: Optional[float], now: float) -> bool:
+    return now >= start_ns and (end_ns is None or now < end_ns)
+
+
+@dataclass(frozen=True)
+class ComputeSlowdown:
+    """A straggler: GPU ``gpu_id`` computes ``factor``x slower in the
+    ``[start_ns, end_ns)`` window (``end_ns=None`` means forever)."""
+
+    gpu_id: int = ANY
+    factor: float = 1.0
+    start_ns: float = 0.0
+    end_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError("a straggler factor must be >= 1.0")
+        _window_ok(self.start_ns, self.end_ns)
+
+    def matches(self, gpu_id: int, now: float) -> bool:
+        return (self.gpu_id in (ANY, gpu_id)
+                and _in_window(self.start_ns, self.end_ns, now))
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """A degraded directed link ``src -> dst`` (``ANY`` wildcards).
+
+    ``bandwidth_factor`` / ``extra_latency_ns`` are *static* — applied
+    when the topology wires its pipes, for the whole run.  ``stall_ns``
+    adds a transient per-transfer stall inside ``[start_ns, end_ns)``;
+    each matching transfer stalls with ``stall_probability``, drawn
+    deterministically from the plan seed and a per-link transfer counter.
+    """
+
+    src: int = ANY
+    dst: int = ANY
+    bandwidth_factor: float = 1.0
+    extra_latency_ns: float = 0.0
+    stall_ns: float = 0.0
+    stall_probability: float = 1.0
+    start_ns: float = 0.0
+    end_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must be in (0, 1]")
+        if self.extra_latency_ns < 0 or self.stall_ns < 0:
+            raise ValueError("latencies and stalls cannot be negative")
+        if not 0.0 <= self.stall_probability <= 1.0:
+            raise ValueError("stall_probability must be in [0, 1]")
+        _window_ok(self.start_ns, self.end_ns)
+
+    def matches_link(self, src: int, dst: int) -> bool:
+        return self.src in (ANY, src) and self.dst in (ANY, dst)
+
+    def stalls_at(self, now: float) -> bool:
+        return self.stall_ns > 0 and _in_window(self.start_ns, self.end_ns,
+                                                now)
+
+
+@dataclass(frozen=True)
+class DMACompletionFault:
+    """Misdeliver DMA-completion notifications.
+
+    ``action`` is ``"drop"`` (never delivered — downstream waiters hang,
+    which the watchdog must turn into a diagnosable error), ``"delay"``
+    (delivered ``delay_ns`` late) or ``"duplicate"`` (delivered twice; the
+    engine must absorb the second notification exactly-once).  The first
+    ``max_events`` completions matching ``gpu_id`` and ``command_substr``
+    are affected.
+    """
+
+    action: str = "drop"
+    gpu_id: int = ANY
+    command_substr: str = ""
+    delay_ns: float = 0.0
+    max_events: int = 1
+
+    def __post_init__(self) -> None:
+        if self.action not in DMA_ACTIONS:
+            raise ValueError(
+                f"DMA fault action must be one of {DMA_ACTIONS}")
+        if self.action == "delay" and self.delay_ns <= 0:
+            raise ValueError("a delay fault needs delay_ns > 0")
+        if self.delay_ns < 0:
+            raise ValueError("delay_ns cannot be negative")
+        if self.max_events < 1:
+            raise ValueError("max_events must be >= 1")
+
+    def matches(self, gpu_id: int, command_id: str) -> bool:
+        return (self.gpu_id in (ANY, gpu_id)
+                and self.command_substr in command_id)
+
+
+@dataclass(frozen=True)
+class TrackerPressure:
+    """Entry-table pressure: before every ``evict_every``-th
+    ``program_region`` on ``gpu_id``, force-evict a live entry from the
+    target set (its accumulated update counts are lost)."""
+
+    gpu_id: int = ANY
+    evict_every: int = 8
+
+    def __post_init__(self) -> None:
+        if self.evict_every < 1:
+            raise ValueError("evict_every must be >= 1")
+
+    def matches(self, gpu_id: int) -> bool:
+        return self.gpu_id in (ANY, gpu_id)
+
+
+_FAULT_FIELDS = {
+    "compute": ComputeSlowdown,
+    "links": LinkDegradation,
+    "dma": DMACompletionFault,
+    "tracker": TrackerPressure,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seedable bundle of faults for one simulation."""
+
+    seed: int = 0
+    compute: Tuple[ComputeSlowdown, ...] = ()
+    links: Tuple[LinkDegradation, ...] = ()
+    dma: Tuple[DMACompletionFault, ...] = ()
+    tracker: Tuple[TrackerPressure, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name, kind in _FAULT_FIELDS.items():
+            entries = getattr(self, name)
+            if not isinstance(entries, tuple):
+                # Accept lists at construction for ergonomics.
+                object.__setattr__(self, name, tuple(entries))
+                entries = getattr(self, name)
+            for entry in entries:
+                if not isinstance(entry, kind):
+                    raise TypeError(
+                        f"FaultPlan.{name} entries must be {kind.__name__}, "
+                        f"got {type(entry).__name__}")
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.compute or self.links or self.dma or self.tracker)
+
+    # -- serialization (mirrors SystemConfig's contract) --------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            **{name: [dataclasses.asdict(entry)
+                      for entry in getattr(self, name)]
+               for name in _FAULT_FIELDS},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            seed=data.get("seed", 0),
+            **{name: tuple(kind(**entry) for entry in data.get(name, ()))
+               for name, kind in _FAULT_FIELDS.items()},
+        )
+
+    # -- convenience constructors for the common sweep axes -----------------
+
+    @classmethod
+    def straggler(cls, gpu_id: int, factor: float,
+                  seed: int = 0) -> "FaultPlan":
+        return cls(seed=seed,
+                   compute=(ComputeSlowdown(gpu_id=gpu_id, factor=factor),))
+
+    @classmethod
+    def degraded_link(cls, src: int, dst: int, bandwidth_factor: float,
+                      extra_latency_ns: float = 0.0,
+                      seed: int = 0) -> "FaultPlan":
+        return cls(seed=seed, links=(LinkDegradation(
+            src=src, dst=dst, bandwidth_factor=bandwidth_factor,
+            extra_latency_ns=extra_latency_ns),))
+
+    @classmethod
+    def dropped_dma(cls, gpu_id: int = ANY, command_substr: str = "",
+                    max_events: int = 1, seed: int = 0) -> "FaultPlan":
+        return cls(seed=seed, dma=(DMACompletionFault(
+            action="drop", gpu_id=gpu_id, command_substr=command_substr,
+            max_events=max_events),))

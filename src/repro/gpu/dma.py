@@ -69,6 +69,10 @@ class DMAEngine:
         self._completions: Dict[str, BaseEvent] = {}
         self._triggered: set[str] = set()
         self.bytes_moved = 0.0
+        #: completion notifications suppressed by an injected drop fault.
+        self.dropped_completions: List[str] = []
+        #: duplicated completion notifications delivered and absorbed.
+        self.duplicates_absorbed = 0
 
     # -- programming (done at configuration time, Figure 12) -------------------
 
@@ -103,6 +107,9 @@ class DMAEngine:
                 "must fire exactly once per region"
             )
         self._triggered.add(command_id)
+        if self.env.invariants is not None:
+            self.env.invariants.on_trigger_fired(
+                f"DMA command {command_id} on GPU {self.gpu.gpu_id}")
         command = self._commands[command_id]
         self.env.process(
             self._run(command), name=f"dma.{self.gpu.gpu_id}.{command_id}")
@@ -144,7 +151,37 @@ class DMAEngine:
                 category="dma", start_ns=start, end_ns=self.env.now,
                 track=f"GPU{self.gpu.gpu_id}.dma", group="compute",
                 args={"bytes": command.nbytes, "chunk": command.chunk_id})
-        self._completions[command.command_id].succeed()
+        self._deliver_completion(command)
+
+    def _deliver_completion(self, command: DMACommand) -> None:
+        """Notify completion waiters — the injection seam for misdelivered
+        DMA-completion notifications (drop / delay / duplicate)."""
+        event = self._completions[command.command_id]
+        faults = self.env.faults
+        fault = None
+        if faults is not None:
+            fault = faults.dma_completion_fault(
+                self.gpu.gpu_id, command.command_id)
+        if fault is None:
+            event.succeed()
+            return
+        if fault.action == "drop":
+            # Never delivered: waiters hang, the schedule eventually drains
+            # and the watchdog / quiescence checks convert the hang into a
+            # diagnosable SimulationError.
+            self.dropped_completions.append(command.command_id)
+            return
+        if fault.action == "delay":
+            event.succeed(delay=fault.delay_ns)
+            return
+        # "duplicate": the first notification fires the event; the second
+        # must be absorbed — re-firing would be a single-fire violation
+        # (BaseEvent.succeed would raise on the double trigger).
+        event.succeed()
+        self.duplicates_absorbed += 1
+        if self.env.invariants is not None:
+            self.env.invariants.on_duplicate_absorbed(
+                self.gpu.gpu_id, command.command_id)
 
     # -- introspection -------------------------------------------------------------
 

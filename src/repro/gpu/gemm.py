@@ -195,7 +195,13 @@ class GEMMKernel:
                         gpu, next_stage, next_wave, n_waves)
                 # (pending_reads can be None only on a stage's last wave,
                 # when the next stage's gate is still closed.)
-                yield env.timeout(slice_time)
+                if env.faults is not None:
+                    # Straggler seam: the factor is queried per wave so a
+                    # windowed slowdown paces exactly the waves inside it.
+                    yield env.timeout(slice_time * env.faults.compute_factor(
+                        gpu.gpu_id, env.now))
+                else:
+                    yield env.timeout(slice_time)
 
             write_events = self.sink.store_stage(gpu, self, stage)
             self.result.write_bytes += self.traffic.stage_write_bytes[stage.index]

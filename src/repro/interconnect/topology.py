@@ -34,17 +34,26 @@ class Topology:
     def edges(self) -> List[Tuple[int, int]]:
         raise NotImplementedError
 
+    def _make_pipe(self, src: int, dst: int, bandwidth: float,
+                   latency_ns: float, suffix: str = "") -> Pipe:
+        """Build + register one directed link, applying any static link
+        degradation from ``env.faults`` (bandwidth factor, extra latency)."""
+        if self.env.faults is not None:
+            bandwidth, latency_ns = self.env.faults.link_parameters(
+                src, dst, bandwidth, latency_ns)
+        pipe = Pipe(self.env, bandwidth_bytes_per_ns=bandwidth,
+                    latency_ns=latency_ns,
+                    name=f"link.{src}->{dst}{suffix}")
+        pipe.endpoints = (src, dst)
+        self.links[(src, dst)] = pipe
+        self.gpus[src].connect(self.gpus[dst], pipe)
+        return pipe
+
     def _wire(self) -> None:
         link_cfg = self.system.link
         for src, dst in self.edges():
-            pipe = Pipe(
-                self.env,
-                bandwidth_bytes_per_ns=link_cfg.bandwidth,
-                latency_ns=link_cfg.latency_ns,
-                name=f"link.{src}->{dst}",
-            )
-            self.links[(src, dst)] = pipe
-            self.gpus[src].connect(self.gpus[dst], pipe)
+            self._make_pipe(src, dst, link_cfg.bandwidth,
+                            link_cfg.latency_ns)
 
     def link(self, src: int, dst: int) -> Pipe:
         if (src, dst) not in self.links:
@@ -128,9 +137,5 @@ class HierarchicalRingTopology(RingTopology):
                 self.inter_node_fraction if crossing else 1.0)
             latency = link_cfg.latency_ns + (
                 self.inter_node_extra_latency_ns if crossing else 0.0)
-            pipe = Pipe(self.env, bandwidth_bytes_per_ns=bandwidth,
-                        latency_ns=latency,
-                        name=f"link.{src}->{dst}"
-                             + (".xnode" if crossing else ""))
-            self.links[(src, dst)] = pipe
-            self.gpus[src].connect(self.gpus[dst], pipe)
+            self._make_pipe(src, dst, bandwidth, latency,
+                            suffix=".xnode" if crossing else "")

@@ -61,6 +61,9 @@ class MemoryController:
             for i in range(memory.n_channels)
         ]
         self._next_channel = 0
+        env.add_diagnostic(self._diagnostic)
+        if env.invariants is not None:
+            env.invariants.register_controller(self)
 
     # -- submission -----------------------------------------------------------
 
@@ -159,6 +162,18 @@ class MemoryController:
         return intensity
 
     # -- introspection -------------------------------------------------------------
+
+    def _diagnostic(self) -> str:
+        """One line of queue-depth state for the engine's hang dump."""
+        backlog = {
+            stream.value: sum(c.stream_backlog(stream) for c in self.channels)
+            for stream in Stream
+        }
+        occupancy = sum(c.dram_occupancy for c in self.channels)
+        return (f"gpu{self.gpu_id}.mc: outstanding "
+                f"compute={self._outstanding[Stream.COMPUTE]} "
+                f"comm={self._outstanding[Stream.COMM]}; stream backlog "
+                f"{backlog}; dram occupancy {occupancy}")
 
     @property
     def idle(self) -> bool:

@@ -55,6 +55,7 @@ class HBMChannel:
         self._service_wake: Optional[BaseEvent] = None
         self.busy_time = 0.0
         self.bytes_serviced = 0.0
+        self.bytes_enqueued = 0.0
 
         env.process(self._issue_loop(), name=f"hbm{channel_id}.issue")
         env.process(self._service_loop(), name=f"hbm{channel_id}.service")
@@ -64,6 +65,7 @@ class HBMChannel:
     def submit(self, request: MemRequest) -> None:
         request.attach(self.env)
         request.issued_at = self.env.now
+        self.bytes_enqueued += request.nbytes
         self._queues[request.stream].append(request)
         self._wake_issue()
 

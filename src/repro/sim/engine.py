@@ -8,6 +8,7 @@ in FIFO order of scheduling, which keeps runs deterministic.
 from __future__ import annotations
 
 import heapq
+import weakref
 from typing import Any, Callable, Generator, Iterable, Optional
 
 
@@ -24,7 +25,8 @@ class BaseEvent:
     it is *thrown* into the waiting process instead.
     """
 
-    __slots__ = ("env", "_callbacks", "_value", "_ok", "_triggered", "_fired")
+    __slots__ = ("env", "_callbacks", "_value", "_ok", "_triggered", "_fired",
+                 "__weakref__")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -107,6 +109,7 @@ class Process(BaseEvent):
         self._generator = generator
         self._waiting_on: Optional[BaseEvent] = None
         self.name = name or getattr(generator, "__name__", "process")
+        env._live_processes.add(self)
         # Kick off on the next event-loop iteration at the current time.
         boot = BaseEvent(env)
         boot.add_callback(self._resume)
@@ -177,6 +180,19 @@ class Environment:
         #: optional repro.analysis.trace.TraceRecorder; components record
         #: execution spans into it when set.
         self.trace = None
+        #: optional repro.faults.FaultInjector; components consult it at
+        #: their injection seams when set.
+        self.faults = None
+        #: optional repro.faults.InvariantChecker; components report
+        #: observations into it when set.
+        self.invariants = None
+        #: watchdog limits (None = unbounded); see configure_watchdog.
+        self.max_events: Optional[int] = None
+        self.max_sim_ns: Optional[float] = None
+        #: events fired so far (the watchdog's progress measure).
+        self.events_fired = 0
+        self._diagnostics: list[Callable[[], str]] = []
+        self._live_processes: "weakref.WeakSet[Process]" = weakref.WeakSet()
 
     @property
     def now(self) -> float:
@@ -219,12 +235,65 @@ class Environment:
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Fire the single next event."""
+        """Fire the single next event (watchdog limits enforced here)."""
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
         when, _seq, event = heapq.heappop(self._heap)
         self._now = when
+        self.events_fired += 1
+        if self.max_events is not None and self.events_fired > self.max_events:
+            raise SimulationError(
+                f"watchdog: {self.events_fired} events fired without the "
+                f"simulation finishing (limit {self.max_events})\n"
+                + self.diagnostic_dump())
+        if self.max_sim_ns is not None and when > self.max_sim_ns:
+            raise SimulationError(
+                f"watchdog: simulated time reached {when:.1f} ns "
+                f"(limit {self.max_sim_ns:.1f} ns)\n" + self.diagnostic_dump())
         event._fire()
+
+    # -- watchdog & diagnostics ------------------------------------------------
+
+    def configure_watchdog(self, max_events: Optional[int] = None,
+                           max_sim_ns: Optional[float] = None) -> None:
+        """Bound the run: exceeding either limit raises
+        :class:`SimulationError` carrying :meth:`diagnostic_dump`, turning
+        a hung event loop into a diagnosable failure."""
+        if max_events is not None and max_events < 1:
+            raise SimulationError("watchdog max_events must be >= 1")
+        if max_sim_ns is not None and max_sim_ns <= 0:
+            raise SimulationError("watchdog max_sim_ns must be positive")
+        self.max_events = max_events
+        self.max_sim_ns = max_sim_ns
+
+    def add_diagnostic(self, fn: Callable[[], str]) -> None:
+        """Register a component state reporter for the diagnostic dump."""
+        self._diagnostics.append(fn)
+
+    def diagnostic_dump(self, max_pending: int = 10) -> str:
+        """Multi-line snapshot of engine + component state for hang triage:
+        pending events, blocked processes, then every registered component
+        diagnostic (tracker occupancy, queue depths, ...)."""
+        lines = [
+            "--- simulation diagnostic dump ---",
+            f"sim time: {self._now:.1f} ns; events fired: "
+            f"{self.events_fired}; pending events: {len(self._heap)}",
+        ]
+        for when, seq, event in sorted(self._heap)[:max_pending]:
+            name = getattr(event, "name", type(event).__name__)
+            lines.append(f"  pending t={when:.1f} #{seq} {name}")
+        if len(self._heap) > max_pending:
+            lines.append(f"  ... and {len(self._heap) - max_pending} more")
+        blocked = sorted(
+            (p.name for p in self._live_processes if p.is_alive))
+        lines.append(f"unfinished processes: {len(blocked)}")
+        for name in blocked[:max_pending]:
+            lines.append(f"  blocked {name}")
+        if len(blocked) > max_pending:
+            lines.append(f"  ... and {len(blocked) - max_pending} more")
+        for fn in self._diagnostics:
+            lines.append(fn())
+        return "\n".join(lines)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the schedule drains, or until simulated time ``until``.
@@ -249,7 +318,7 @@ class Environment:
             if not self._heap:
                 raise SimulationError(
                     f"deadlock: schedule drained but process {process.name!r} "
-                    "never finished"
+                    "never finished\n" + self.diagnostic_dump()
                 )
             self.step()
         # Drain same-time callbacks so the process's own callbacks fire.

@@ -231,15 +231,26 @@ class Pipe:
         self.bandwidth = bandwidth_bytes_per_ns
         self.latency = latency_ns
         self.name = name
+        #: (src_gpu_id, dst_gpu_id) when wired by a topology; lets the
+        #: fault injector target transient stalls at this link.
+        self.endpoints: Optional[tuple[int, int]] = None
         self._wire_free_at = 0.0
         self.bytes_sent = 0
         self.busy_time = 0.0
+        self.stall_time = 0.0
 
     def transfer(self, nbytes: float) -> BaseEvent:
         """Start a transfer; returns an event firing on arrival."""
         if nbytes < 0:
             raise SimulationError("cannot transfer negative bytes")
         start = max(self.env.now, self._wire_free_at)
+        faults = self.env.faults
+        if faults is not None and self.endpoints is not None:
+            stall = faults.transfer_stall(
+                self.endpoints[0], self.endpoints[1], self.env.now)
+            if stall:
+                start += stall
+                self.stall_time += stall
         serialization = nbytes / self.bandwidth
         self._wire_free_at = start + serialization
         self.bytes_sent += nbytes

@@ -78,7 +78,8 @@ class FusedAGConsumerGEMM:
         grid = self.grids[rank]
         n = self.system.n_gpus
 
-        tracker = Tracker(self.system.tracker, granularity="wg")
+        tracker = Tracker(self.system.tracker, granularity="wg",
+                          env=self.env, gpu_id=rank)
         gpu.mc.add_tracker_observer(tracker.observe)
         controller = TriggerController(self.env, tracker, gpu.dma)
 

@@ -32,7 +32,7 @@ from repro.interconnect.topology import RingTopology
 from repro.memory.cache import estimate_gemm_traffic
 from repro.memory.nmc import ReductionBuffer
 from repro.memory.request import AccessKind, MemRequest, Stream
-from repro.sim.engine import BaseEvent
+from repro.sim.engine import BaseEvent, SimulationError
 from repro.t3.address_map import AddressSpaceConfig, RouteKind
 from repro.t3.tracker import Tracker
 from repro.t3.trigger import DMABlock, TriggerController
@@ -193,7 +193,8 @@ class FusedGEMMRS:
         grid = self.grids[rank]
         config = self.address_configs[rank]
 
-        tracker = Tracker(self.system.tracker, granularity="wg")
+        tracker = Tracker(self.system.tracker, granularity="wg",
+                          env=self.env, gpu_id=rank)
         gpu.tracker = tracker
         gpu.mc.add_tracker_observer(tracker.observe)
         controller = TriggerController(self.env, tracker, gpu.dma)
@@ -282,15 +283,27 @@ class FusedGEMMRS:
             procs + self.terminal_events + self.dma_completions)
         self.env.run()
         if not everything.fired:
+            # The schedule drained with waiters outstanding (e.g. a dropped
+            # DMA completion, or tracker entries evicted under pressure):
+            # a hang, surfaced as a diagnosable error instead of silence.
             pending = [
                 (rank, tracker.pending_regions()[:3], tracker.live_regions)
                 for rank, tracker in enumerate(self.trackers)
                 if tracker.live_regions
             ]
-            raise RuntimeError(
-                f"fused GEMM-RS deadlocked; pending tracker regions: {pending}")
+            dropped = [
+                (gpu.gpu_id, list(gpu.dma.dropped_completions))
+                for gpu in self.topo.gpus
+                if gpu.dma.dropped_completions
+            ]
+            raise SimulationError(
+                f"fused GEMM-RS deadlocked; pending tracker regions: "
+                f"{pending}; dropped DMA completions: {dropped}\n"
+                + self.env.diagnostic_dump())
         self.result.rs_done = self.env.now
         self.result.gemm_results = [k.result for k in self.kernels]
+        if self.env.invariants is not None:
+            self.env.invariants.check_all()
         if self.check_invariants:
             self._check_ledgers()
         return self.result

@@ -74,7 +74,8 @@ class NMCReduceScatter:
         gpu = self.topo.gpus[rank]
         n = self.system.n_gpus
         downstream = (rank - 1) % n
-        tracker = Tracker(self.system.tracker, granularity="wg")
+        tracker = Tracker(self.system.tracker, granularity="wg",
+                          env=self.env, gpu_id=rank)
         gpu.mc.add_tracker_observer(tracker.observe)
         controller = TriggerController(self.env, tracker, gpu.dma)
 

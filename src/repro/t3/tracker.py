@@ -34,15 +34,23 @@ RegionKey = Tuple[int, int]  # (wg_id, wf_id); wf_id == -1 in "wg" mode
 
 @dataclass
 class TrackerEntry:
-    """One tracked WF/WG output region."""
+    """One tracked WF/WG output region.
+
+    Byte counts are **integers**: the hardware counts whole update
+    transactions, and integer arithmetic makes completion exact.  (The
+    previous float representation compared against ``expected - 1e-6``,
+    which could fire *early* once accumulated float error exceeded the
+    epsilon — the region would trigger its DMA before the final update
+    landed.)
+    """
 
     key: RegionKey
-    expected_bytes: float
-    received_bytes: float = 0.0
+    expected_bytes: int
+    received_bytes: int = 0
 
     @property
     def complete(self) -> bool:
-        return self.received_bytes >= self.expected_bytes - 1e-6
+        return self.received_bytes >= self.expected_bytes
 
 
 @dataclass
@@ -55,23 +63,36 @@ class TrackerStats:
     untracked_updates: int = 0
     peak_ways_used: int = 0
     overflow_events: int = 0
+    forced_evictions: int = 0
 
 
 class Tracker:
-    """Set-associative update tracker for one GPU."""
+    """Set-associative update tracker for one GPU.
+
+    ``env`` is optional; when given, the tracker registers a diagnostic
+    with the engine (occupancy in hang dumps), reports credits to
+    ``env.invariants`` (monotonicity / no-overshoot) and honors Tracker
+    entry-table pressure faults from ``env.faults``.
+    """
 
     def __init__(self, config: TrackerConfig, granularity: str = "wg",
-                 strict_capacity: bool = False):
+                 strict_capacity: bool = False, env=None, gpu_id: int = 0):
         if granularity not in ("wg", "wf"):
             raise ValueError("granularity must be 'wg' or 'wf'")
         self.config = config
         self.granularity = granularity
         self.strict_capacity = strict_capacity
+        self.env = env
+        self.gpu_id = gpu_id
         self._sets: List[Dict[RegionKey, TrackerEntry]] = [
             {} for _ in range(config.n_entries)
         ]
         self._on_complete: List[Callable[[RegionKey], None]] = []
         self.stats = TrackerStats()
+        if env is not None:
+            env.add_diagnostic(self._diagnostic)
+            if env.invariants is not None:
+                env.invariants.register_tracker(gpu_id, self)
 
     # -- configuration (driver-time) -------------------------------------------
 
@@ -81,8 +102,12 @@ class Tracker:
     def program_region(self, wg_id: int, wf_id: int,
                        expected_bytes: float) -> None:
         """Allocate an entry for a region (done by the dma_map setup)."""
-        if expected_bytes <= 0:
+        expected = int(round(expected_bytes))
+        if expected <= 0:
             raise ValueError("a tracked region must expect positive bytes")
+        if self.env is not None and self.env.faults is not None \
+                and self.env.faults.tracker_eviction_due(self.gpu_id):
+            self._force_evict()
         key = self._key(wg_id, wf_id)
         entry_set = self._set_for(wg_id)
         if key in entry_set:
@@ -95,10 +120,25 @@ class Tracker:
                     f"{self.config.ways} ways — the producer stage is larger "
                     "than the Tracker was sized for"
                 )
-        entry_set[key] = TrackerEntry(key=key, expected_bytes=expected_bytes)
+        entry_set[key] = TrackerEntry(key=key, expected_bytes=expected)
         self.stats.regions_programmed += 1
         self.stats.peak_ways_used = max(
             self.stats.peak_ways_used, len(entry_set))
+
+    def _force_evict(self) -> None:
+        """Entry-table pressure fault: drop the oldest live region.
+
+        Its accumulated update counts are lost, so the region can never
+        complete through the Tracker — downstream trigger blocks hang,
+        which the engine watchdog / post-run quiescence checks surface."""
+        victims = self.pending_regions()
+        if not victims:
+            return
+        victim = victims[0]
+        del self._set_for(victim[0])[victim]
+        self.stats.forced_evictions += 1
+        if self.env is not None and self.env.faults is not None:
+            self.env.faults.record_eviction(self.gpu_id, victim)
 
     def is_tracked(self, wg_id: int, wf_id: int = -1) -> bool:
         return self._key(wg_id, wf_id) in self._set_for(wg_id)
@@ -123,15 +163,21 @@ class Tracker:
 
     def _spread_over_wfs(self, request: MemRequest) -> None:
         entry_set = self._set_for(request.wg_id)
-        wf_keys = [key for key in entry_set if key[0] == request.wg_id]
+        wf_keys = sorted(key for key in entry_set if key[0] == request.wg_id)
         if not wf_keys:
             self.stats.untracked_updates += 1
             return
-        share = request.nbytes / len(wf_keys)
-        for _wg, wf in list(wf_keys):
-            self._credit(request.wg_id, wf, share)
+        # Exact integer split: no WF region may accumulate fractional
+        # credit, or the sum would drift from the request's byte count.
+        share, remainder = divmod(int(request.nbytes), len(wf_keys))
+        for index, (_wg, wf) in enumerate(wf_keys):
+            self._credit(request.wg_id, wf,
+                         share + (1 if index < remainder else 0))
 
     def _credit(self, wg_id: int, wf_id: int, nbytes: float) -> None:
+        # Whole bytes only: partial-byte credit must never tip a region
+        # over its threshold (the float-epsilon early-fire bug).
+        nbytes = int(nbytes)
         key = self._key(wg_id, wf_id)
         entry_set = self._set_for(wg_id)
         entry = entry_set.get(key)
@@ -141,6 +187,8 @@ class Tracker:
             self.stats.untracked_updates += 1
             return
         entry.received_bytes += nbytes
+        if self.env is not None and self.env.invariants is not None:
+            self.env.invariants.on_tracker_credit(self.gpu_id, entry, nbytes)
         if entry.complete:
             del entry_set[key]
             self.stats.regions_completed += 1
@@ -161,3 +209,17 @@ class Tracker:
 
     def pending_regions(self) -> List[RegionKey]:
         return sorted(key for s in self._sets for key in s)
+
+    def _diagnostic(self) -> str:
+        """One line of occupancy state for the engine's hang dump."""
+        stats = self.stats
+        pending = self.pending_regions()
+        line = (f"gpu{self.gpu_id}.tracker: live={self.live_regions} "
+                f"programmed={stats.regions_programmed} "
+                f"completed={stats.regions_completed} "
+                f"evicted={stats.forced_evictions}")
+        if pending:
+            shown = ", ".join(map(str, pending[:5]))
+            more = f" +{len(pending) - 5} more" if len(pending) > 5 else ""
+            line += f"; pending regions: {shown}{more}"
+        return line

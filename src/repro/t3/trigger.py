@@ -52,6 +52,7 @@ class TriggerController:
         self._region_to_block: Dict[RegionKey, str] = {}
         self._terminal_events: Dict[str, BaseEvent] = {}
         tracker.add_completion_listener(self._on_region_complete)
+        env.add_diagnostic(self._diagnostic)
 
     # -- programming -------------------------------------------------------------
 
@@ -97,12 +98,28 @@ class TriggerController:
         block.completed.add(region)
         if block.remaining == 0 and not block.fired:
             block.fired = True
+            if self.env.invariants is not None:
+                self.env.invariants.on_trigger_fired(
+                    f"trigger block {block_id}")
             if block.is_terminal:
                 self._terminal_events[block_id].succeed(self.env.now)
             else:
                 self.dma.trigger(block.dma_command_id)
 
     # -- introspection ------------------------------------------------------------------
+
+    def _diagnostic(self) -> str:
+        """One line of block state for the engine's hang dump."""
+        pending = sorted(
+            block_id for block_id, block in self._blocks.items()
+            if not block.fired)
+        line = (f"trigger[gpu{self.dma.gpu.gpu_id}]: "
+                f"{self.blocks_fired} fired, {self.blocks_pending} pending")
+        if pending:
+            shown = ", ".join(pending[:5])
+            more = f" +{len(pending) - 5} more" if len(pending) > 5 else ""
+            line += f" ({shown}{more})"
+        return line
 
     def block(self, block_id: str) -> DMABlock:
         return self._blocks[block_id]

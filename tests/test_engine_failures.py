@@ -1,0 +1,169 @@
+"""Failure-path tests for the simulation engine (repro.sim.engine):
+watchdog limits, the diagnostic dump, deadlock detection, double
+triggers and exception propagation."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+def spinner(env):
+    """A process that never finishes: one event per ns, forever."""
+    while True:
+        yield env.timeout(1.0)
+
+
+# ------------------------------------------------------------------ watchdog
+
+def test_watchdog_max_events_converts_spin_into_error():
+    env = Environment()
+    env.configure_watchdog(max_events=100)
+    env.process(spinner(env), name="spinner")
+    with pytest.raises(SimulationError, match="watchdog: .* events fired"):
+        env.run()
+    assert env.events_fired == 101  # the limit-breaking event was counted
+
+
+def test_watchdog_max_sim_ns_converts_runaway_clock_into_error():
+    env = Environment()
+    env.configure_watchdog(max_sim_ns=50.0)
+    env.process(spinner(env), name="spinner")
+    with pytest.raises(SimulationError,
+                       match=r"watchdog: simulated time reached"):
+        env.run()
+    assert env.now > 50.0
+
+
+def test_watchdog_limits_do_not_fire_on_healthy_runs():
+    env = Environment()
+    env.configure_watchdog(max_events=1000, max_sim_ns=1e9)
+
+    def worker(env):
+        yield env.timeout(10.0)
+        return "done"
+
+    proc = env.process(worker(env))
+    assert env.run_until_process(proc) == "done"
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_events": 0},
+    {"max_events": -5},
+    {"max_sim_ns": 0.0},
+    {"max_sim_ns": -1.0},
+])
+def test_watchdog_rejects_non_positive_limits(kwargs):
+    with pytest.raises(SimulationError):
+        Environment().configure_watchdog(**kwargs)
+
+
+# ------------------------------------------------------------ diagnostic dump
+
+def test_dump_lists_pending_events_and_blocked_processes():
+    env = Environment()
+    gate = env.event()  # never fired
+
+    def waiter(env):
+        yield gate
+
+    env.process(waiter(env), name="stuck-waiter")
+    env.timeout(123.0)
+    env.run(until=1.0)  # boot the process, leave the timeout pending
+
+    dump = env.diagnostic_dump()
+    assert "--- simulation diagnostic dump ---" in dump
+    assert "pending events: 1" in dump
+    assert "pending t=123.0" in dump
+    assert "unfinished processes: 1" in dump
+    assert "blocked stuck-waiter" in dump
+
+
+def test_dump_truncates_long_pending_lists():
+    env = Environment()
+    for _ in range(25):
+        env.timeout(1.0)
+    dump = env.diagnostic_dump(max_pending=10)
+    assert "... and 15 more" in dump
+
+
+def test_dump_includes_registered_component_diagnostics():
+    env = Environment()
+    env.add_diagnostic(lambda: "widget: 3 gizmos outstanding")
+    assert "widget: 3 gizmos outstanding" in env.diagnostic_dump()
+
+
+def test_watchdog_error_message_carries_the_dump():
+    env = Environment()
+    env.configure_watchdog(max_events=10)
+    env.add_diagnostic(lambda: "component-state-marker")
+    env.process(spinner(env), name="spinner")
+    with pytest.raises(SimulationError) as excinfo:
+        env.run()
+    message = str(excinfo.value)
+    assert "simulation diagnostic dump" in message
+    assert "component-state-marker" in message
+    assert "blocked spinner" in message
+
+
+# ----------------------------------------------------------- deadlock & misc
+
+def test_deadlock_error_names_process_and_dumps_state():
+    env = Environment()
+    gate = env.event()
+
+    def waiter(env):
+        yield gate
+
+    proc = env.process(waiter(env), name="doomed")
+    with pytest.raises(SimulationError) as excinfo:
+        env.run_until_process(proc)
+    message = str(excinfo.value)
+    assert "deadlock" in message
+    assert "doomed" in message
+    assert "simulation diagnostic dump" in message
+
+
+def test_double_trigger_raises():
+    env = Environment()
+    event = env.event()
+    event.succeed()
+    with pytest.raises(SimulationError, match="already been triggered"):
+        event.succeed()
+    with pytest.raises(SimulationError, match="already been triggered"):
+        event.fail(RuntimeError("too late"))
+
+
+def test_process_exception_propagates_through_run_until_process():
+    env = Environment()
+
+    def exploder(env):
+        yield env.timeout(1.0)
+        raise ValueError("boom at t=1")
+
+    proc = env.process(exploder(env))
+    # A subscriber routes the exception through the fail path (the
+    # process event fails instead of the exception escaping the loop).
+    proc.add_callback(lambda ev: None)
+    with pytest.raises(ValueError, match="boom at t=1"):
+        env.run_until_process(proc)
+    assert proc.triggered and not proc.ok
+
+
+def test_unwatched_process_exception_escapes_the_event_loop():
+    env = Environment()
+
+    def exploder(env):
+        yield env.timeout(1.0)
+        raise ValueError("unhandled")
+
+    env.process(exploder(env))
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_events_fired_counts_every_step():
+    env = Environment()
+    for _ in range(5):
+        env.timeout(1.0)
+    env.run()
+    assert env.events_fired == 5

@@ -192,3 +192,100 @@ def test_system_config_roundtrip_and_content_hash():
     assert clone == system
     assert clone.content_hash() == system.content_hash()
     assert clone.content_hash() != table1_system(16).content_hash()
+
+
+# ------------------------------------------------- crash-tolerant execution
+
+def _canned_suite(sub, scale, system, configs=None, faults=None,
+                  check_invariants=False):
+    """A stand-in simulation result (no actual simulation)."""
+    import repro.experiments.common as common
+    return common.SublayerSuite(
+        label=sub.label, shape=sub.gemm, system=system,
+        gemm_time=3.0, rs_time=2.0, ag_time=1.0,
+        times={"Sequential": 6.0, "T3": 4.0}, traffic={})
+
+
+def _install_worker_failure(monkeypatch, failure):
+    """Make simulate_case fail in pool workers but succeed in the parent.
+
+    ``run_cases`` submits the module-level ``_simulate_payload`` (always
+    picklable); with the fork start method the workers inherit this
+    monkeypatched ``simulate_case``, so only child processes fail and the
+    in-process serial retry succeeds.
+    """
+    import os
+
+    parent_pid = os.getpid()
+
+    def fake_simulate(sub, scale, system, configs=None, faults=None,
+                      check_invariants=False):
+        if os.getpid() != parent_pid:
+            failure()
+        return _canned_suite(sub, scale, system, configs, faults,
+                             check_invariants)
+
+    monkeypatch.setattr(sublayer_sweep, "simulate_case", fake_simulate)
+
+
+def test_killed_worker_falls_back_to_serial(monkeypatch, tmp_path):
+    import os
+
+    # A hard crash (os._exit) breaks the whole pool: BrokenProcessPool.
+    _install_worker_failure(monkeypatch, lambda: os._exit(13))
+    cache = SweepCache(tmp_path)
+    with pytest.warns(executor.SweepExecutionWarning,
+                      match="retrying in-process"):
+        results = run_cases(_specs(), jobs=2, cache=cache)
+    assert [suite.label for suite in results] == \
+        ["T-NLG/OP/TP4", "T-NLG/FC-2/TP4"]
+    assert all(suite.times == {"Sequential": 6.0, "T3": 4.0}
+               for suite in results)
+    # Retried results still land in the cache.
+    assert cache.stats.simulated == 2
+    assert len(cache) == 2
+
+
+def test_worker_exception_falls_back_to_serial(monkeypatch, tmp_path):
+    def explode():
+        raise ValueError("synthetic worker failure")
+
+    _install_worker_failure(monkeypatch, explode)
+    with pytest.warns(executor.SweepExecutionWarning,
+                      match="ValueError"):
+        results = run_cases(_specs(), jobs=2, cache=SweepCache(tmp_path))
+    assert len(results) == 2
+
+
+def test_hung_worker_times_out_and_falls_back(monkeypatch, tmp_path):
+    import time as _time
+
+    _install_worker_failure(monkeypatch, lambda: _time.sleep(3.0))
+    with pytest.warns(executor.SweepExecutionWarning):
+        results = run_cases(_specs(names=("OP", "FC-2")), jobs=2,
+                            cache=SweepCache(tmp_path), timeout_s=0.5)
+    assert len(results) == 2
+
+
+def test_error_in_serial_retry_propagates(monkeypatch, tmp_path):
+    import os
+
+    parent_pid = os.getpid()
+
+    def always_fail(sub, scale, system, configs=None, faults=None,
+                    check_invariants=False):
+        raise ValueError("fails everywhere")
+
+    monkeypatch.setattr(sublayer_sweep, "simulate_case", always_fail)
+    with pytest.warns(executor.SweepExecutionWarning):
+        with pytest.raises(ValueError, match="fails everywhere"):
+            run_cases(_specs(), jobs=2, cache=SweepCache(tmp_path))
+
+
+def test_serial_path_is_untouched_by_worker_failures(monkeypatch, tmp_path):
+    # jobs=1 never builds a pool, so a child-only failure never triggers.
+    import os
+    _install_worker_failure(monkeypatch, lambda: os._exit(13))
+    results = run_cases(_specs(names=("OP",)), jobs=1,
+                        cache=SweepCache(tmp_path))
+    assert len(results) == 1

@@ -20,7 +20,8 @@ def test_every_registered_experiment_is_callable():
                 "figure14", "figure15", "figure16", "figure16-large",
                 "figure17", "figure18", "figure19", "figure20",
                 "generation", "precision", "following-ops",
-                "consumer-fusion", "in-switch", "dp-overlap"}
+                "consumer-fusion", "in-switch", "dp-overlap",
+                "fault-sweep"}
     assert expected == set(EXPERIMENTS)
 
 

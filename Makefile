@@ -1,13 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test check smoke-cache smoke-faults results clean-cache
+.PHONY: test check smoke-cache smoke-faults smoke-obs bench profile \
+	results clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Everything CI runs: the tier-1 suite plus both smoke tests.
-check: test smoke-cache smoke-faults
+# Everything CI runs: the tier-1 suite plus the smoke tests.
+check: test smoke-cache smoke-faults smoke-obs
 
 # Cache smoke test: figure16 twice; the second run must hit the persistent
 # sweep cache (zero simulations), be much faster, and render identically.
@@ -18,6 +19,24 @@ smoke-cache:
 # determinism, and dropped-DMA hang diagnosability.
 smoke-faults:
 	$(PYTHON) scripts/smoke_faults.py
+
+# Telemetry smoke test: identical results and engine event counts with
+# the metrics registry attached vs. absent.
+smoke-obs:
+	$(PYTHON) scripts/smoke_obs.py
+
+# Capture a bench trajectory point (results/BENCH_0003.json) and
+# validate it against the schema.
+bench:
+	$(PYTHON) scripts/bench.py
+	$(PYTHON) scripts/bench.py --check results/BENCH_0003.json
+
+# Overlap profile of the sweep cases (CASE filters by label substring,
+# e.g. `make profile CASE=fc2`); writes profile-report.json.
+CASE ?=
+profile:
+	$(PYTHON) -m repro.experiments.runner profile figure16 \
+		$(if $(CASE),--config $(CASE)) --profile profile-report.json
 
 # Regenerate results/ (fast mode).  JOBS workers for cache misses.
 JOBS ?= 1

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Capture (or validate) a benchmark trajectory point.
+
+Simulates a small set of sub-layer cases with telemetry attached and
+records, per case: host wall-clock, speedups over Sequential, and the
+overlap efficiency (fraction of communication hidden under compute) of
+every simulated configuration.  The payload follows the schema in
+:mod:`repro.obs.bench` and lands in ``results/BENCH_0003.json`` by
+default — the checked-in trajectory point CI validates on every push.
+
+Usage::
+
+    python scripts/bench.py                 # fast case set -> results/BENCH_0003.json
+    python scripts/bench.py --smoke         # one cheap TP=4 case (CI)
+    python scripts/bench.py --out /tmp/b.json
+    python scripts/bench.py --check results/BENCH_0003.json
+
+Exit status 0 on success; ``--check`` exits 1 listing every schema
+violation.  Simulated values are machine-independent (the simulator is
+deterministic); wall-clock numbers are host-specific by design.
+"""
+
+import argparse
+import datetime
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import table1_system                      # noqa: E402
+from repro.experiments import sublayer_sweep                # noqa: E402
+from repro.experiments.profile import filter_cases          # noqa: E402
+from repro.models import zoo                                # noqa: E402
+from repro.obs import bench                                 # noqa: E402
+from repro.obs.profiler import PROFILED_CONFIGS, profile_case  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "results" / "BENCH_0003.json"
+
+
+def smoke_cases():
+    """One cheap TP=4 case — seconds, not minutes (the CI bench point)."""
+    return [zoo.t_nlg().sublayer("OP", 4)]
+
+
+def fast_cases():
+    """The FC-2 column of the sweep grid (the checked-in bench point)."""
+    return filter_cases(sublayer_sweep.default_cases(), "fc2")
+
+
+def capture(mode: str) -> dict:
+    cases = smoke_cases() if mode == "smoke" else fast_cases()
+    started = time.time()
+    experiments = []
+    for sub in cases:
+        case_started = time.time()
+        registries = {}
+        suite = sublayer_sweep.simulate_case(
+            sub, sublayer_sweep.FAST_SCALE, table1_system(n_gpus=sub.tp),
+            list(PROFILED_CONFIGS), obs_sink=registries)
+        profile = profile_case(suite.label, registries, times=suite.times)
+        experiments.append({
+            "case": suite.label,
+            "wall_clock_s": round(time.time() - case_started, 3),
+            "speedups": {
+                name: round(suite.speedup(name), 6)
+                for name in PROFILED_CONFIGS if name != "Sequential"
+            },
+            "overlap_efficiency": {
+                name: round(
+                    profile.configs[name].breakdown.overlap_efficiency, 6)
+                for name in profile.configs
+            },
+            "hidden_comm_ns": {
+                name: round(profile.configs[name].breakdown.hidden_ns, 1)
+                for name in profile.configs
+            },
+        })
+        print(f"  {suite.label}: "
+              f"{experiments[-1]['wall_clock_s']:.2f}s, speedups "
+              f"{experiments[-1]['speedups']}")
+    return bench.build_payload(
+        mode=mode,
+        captured_at=datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        host={
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        wall_clock_s=round(time.time() - started, 3),
+        experiments=experiments,
+    )
+
+
+def check(path: pathlib.Path) -> int:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL {path}: unreadable ({exc})")
+        return 1
+    errors = bench.validate(payload)
+    if errors:
+        print(f"FAIL {path}: {len(errors)} schema violation(s)")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    n = len(payload["experiments"])
+    print(f"OK {path}: schema v{payload['schema_version']}, "
+          f"mode={payload['mode']}, {n} experiment(s)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="capture or validate a bench trajectory point")
+    parser.add_argument("--smoke", action="store_true",
+                        help="one cheap TP=4 case instead of the FC-2 set")
+    parser.add_argument("--out", default=str(DEFAULT_OUT), metavar="FILE",
+                        help=f"output path (default {DEFAULT_OUT})")
+    parser.add_argument("--check", default=None, metavar="FILE",
+                        help="validate an existing bench file and exit")
+    args = parser.parse_args()
+
+    if args.check is not None:
+        return check(pathlib.Path(args.check))
+
+    mode = "smoke" if args.smoke else "fast"
+    print(f"[bench: capturing {mode} point]")
+    payload = capture(mode)
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench point written to {out} "
+          f"({payload['wall_clock_s']:.1f}s wall clock)]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

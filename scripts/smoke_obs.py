@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Smoke test for the telemetry layer (the `make smoke-obs` target).
+
+The metrics registry's contract is *observational transparency*:
+attaching one must never change what the simulator computes.  Two
+end-to-end checks on a cheap TP=4 case:
+
+1. **Identical results** — ``simulate_case`` with an ``obs_sink`` returns
+   bit-identical times and traffic to a plain run, and the sink holds a
+   populated registry per simulated configuration;
+2. **Identical event counts** — a fused GEMM-RS run fires exactly the
+   same number of engine events with and without a registry attached
+   (recording is passive: it schedules nothing).
+
+With ``--report FILE`` / ``--trace FILE`` it additionally writes an
+overlap-profile JSON and a merged span+counter Perfetto trace — the CI
+bench-smoke job uploads both as artifacts.
+
+Exit status 0 on success; prints a diagnosis and exits 1 otherwise.
+"""
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.trace import TraceRecorder              # noqa: E402
+from repro.config import table1_system                      # noqa: E402
+from repro.experiments import sublayer_sweep                # noqa: E402
+from repro.experiments.common import _fresh_topology, scaled_shape  # noqa: E402
+from repro.experiments.profile import run as run_profile    # noqa: E402
+from repro.experiments.profile import write_report          # noqa: E402
+from repro.models import zoo                                # noqa: E402
+from repro.obs import MetricsRegistry                       # noqa: E402
+from repro.t3.fusion import FusedGEMMRS                     # noqa: E402
+
+
+def case():
+    return zoo.t_nlg().sublayer("OP", 4)
+
+
+def simulate(obs_sink=None):
+    return sublayer_sweep.simulate_case(
+        case(), sublayer_sweep.FAST_SCALE, table1_system(n_gpus=4),
+        ["Sequential", "T3-MCA"], obs_sink=obs_sink)
+
+
+def fused_run(with_obs: bool, with_trace: bool = False):
+    """One fused GEMM-RS run; returns (env, result, registry, trace)."""
+    sub = case()
+    system = table1_system(n_gpus=sub.tp)
+    tiles_n = max(1, sub.gemm.n // system.gemm.macro_tile_n)
+    rows_needed = -(-sub.tp // tiles_n)  # ceil
+    shape = scaled_shape(sub.gemm, sublayer_sweep.FAST_SCALE,
+                         min_m=rows_needed * system.gemm.macro_tile_m)
+    registry = MetricsRegistry() if with_obs else None
+    env, topo = _fresh_topology(system, "mca", obs=registry)
+    trace = None
+    if with_trace:
+        trace = TraceRecorder()
+        env.trace = trace
+    result = FusedGEMMRS(topo, shape, calibrate_mca=True).run()
+    return env, result, registry, trace
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", default=None, metavar="FILE",
+                        help="also write an overlap-profile JSON")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="also write a merged span+counter trace")
+    args = parser.parse_args()
+    failures = []
+
+    plain = simulate()
+    sink = {}
+    observed = simulate(obs_sink=sink)
+    if observed.times != plain.times or observed.traffic != plain.traffic:
+        failures.append("obs registry changed simulation results: "
+                        f"{observed.times} vs {plain.times}")
+    elif sorted(sink) != ["Sequential", "T3-MCA"]:
+        failures.append(f"obs sink holds {sorted(sink)}, expected one "
+                        "registry per simulated configuration")
+    elif any(len(reg) == 0 for reg in sink.values()):
+        failures.append("an obs registry collected no scopes")
+    else:
+        print(f"OK transparency: identical results {plain.times}; "
+              f"registries hold "
+              f"{sorted(sink['T3-MCA'].components())}")
+
+    env_off, result_off, _, _ = fused_run(with_obs=False)
+    env_on, result_on, registry, _ = fused_run(with_obs=True)
+    if env_off.events_fired != env_on.events_fired:
+        failures.append(
+            "obs registry changed the engine event count: "
+            f"{env_on.events_fired} vs {env_off.events_fired}")
+    elif result_off.duration != result_on.duration:
+        failures.append(
+            "obs registry changed the fused run duration: "
+            f"{result_on.duration} vs {result_off.duration}")
+    else:
+        print(f"OK passivity: {env_off.events_fired} events and "
+              f"{result_off.duration:.0f} ns with and without telemetry")
+
+    if args.report and not failures:
+        report = run_profile(fast=True, case_filter="tnlgop",
+                             cases=[case()])
+        path = write_report(report, args.report)
+        print(f"OK report: {path}")
+
+    if args.trace and not failures:
+        _, _, registry, trace = fused_run(with_obs=True, with_trace=True)
+        target = pathlib.Path(args.trace)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        trace.save(str(target), registry=registry)
+        print(f"OK trace: {target} ({len(trace)} spans + counter tracks)")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print("smoke-obs passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

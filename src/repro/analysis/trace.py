@@ -83,9 +83,17 @@ class TraceRecorder:
             })
         return events
 
-    def save(self, path: str) -> None:
-        payload = {"traceEvents": self.to_chrome_events(),
-                   "displayTimeUnit": "ns"}
+    def save(self, path: str, registry=None,
+             max_samples_per_track: Optional[int] = None) -> None:
+        """Write the Chrome-format JSON; passing an
+        :class:`~repro.obs.MetricsRegistry` merges its gauges/series in
+        as counter tracks on the same timeline."""
+        events = self.to_chrome_events()
+        if registry is not None:
+            from repro.obs.perfetto import merge_into_trace
+            events = merge_into_trace(events, registry,
+                                      max_samples_per_track)
+        payload = {"traceEvents": events, "displayTimeUnit": "ns"}
         with open(path, "w") as handle:
             json.dump(payload, handle)
 

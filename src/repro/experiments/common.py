@@ -124,10 +124,15 @@ def _fresh_topology(system: SystemConfig, policy: str,
                     record_traffic: bool = False,
                     faults: Optional[FaultPlan] = None,
                     check_invariants: bool = False,
+                    obs=None,
                     ) -> Tuple[Environment, RingTopology]:
     env = Environment()
+    if obs is not None:
+        env.obs = obs
     if faults is not None:
         env.faults = FaultInjector(faults)
+        if obs is not None:
+            env.faults.bind_obs(obs)
     if check_invariants:
         env.invariants = InvariantChecker(env)
     if record_traffic:
@@ -138,10 +143,11 @@ def _fresh_topology(system: SystemConfig, policy: str,
 def _run_sequential(system: SystemConfig, shape: GEMMShape,
                     record_traffic: bool = False,
                     faults: Optional[FaultPlan] = None,
-                    check_invariants: bool = False):
+                    check_invariants: bool = False,
+                    obs=None):
     """GEMM on all GPUs, then ring-RS, then ring-AG; returns parts."""
     env, topo = _fresh_topology(system, "compute-priority", record_traffic,
-                                faults, check_invariants)
+                                faults, check_invariants, obs)
     kernels = []
     for gpu in topo.gpus:
         grid = TileGrid(shape, system.gemm, n_cus=system.compute.n_cus)
@@ -167,9 +173,10 @@ def _run_sequential(system: SystemConfig, shape: GEMMShape,
 def _run_fused(system: SystemConfig, shape: GEMMShape, config: RunConfig,
                record_traffic: bool = False,
                faults: Optional[FaultPlan] = None,
-               check_invariants: bool = False):
+               check_invariants: bool = False,
+               obs=None):
     env, topo = _fresh_topology(system, config.mc_policy, record_traffic,
-                                faults, check_invariants)
+                                faults, check_invariants, obs)
     fused = FusedGEMMRS(topo, shape,
                         calibrate_mca=(config.mc_policy == "mca"))
     fused_result = fused.run()
@@ -186,7 +193,9 @@ def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
                        configs: Optional[List[str]] = None,
                        record_traffic: bool = False,
                        faults: Optional[FaultPlan] = None,
-                       check_invariants: bool = False) -> SublayerSuite:
+                       check_invariants: bool = False,
+                       obs_sink: Optional[Dict[str, object]] = None,
+                       ) -> SublayerSuite:
     """Run every requested configuration on one sub-layer GEMM shape.
 
     ``faults`` injects a :class:`~repro.faults.FaultPlan` into every
@@ -194,6 +203,14 @@ def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
     injector); ``check_invariants`` attaches an
     :class:`~repro.faults.InvariantChecker` to every run.  Both are
     observationally transparent when the plan is empty / checks pass.
+
+    ``obs_sink`` (a mutable mapping) opts into telemetry: each simulated
+    configuration runs with a fresh
+    :class:`~repro.obs.MetricsRegistry` attached, stored into the sink
+    under the configuration name.  Registries are recorded per-run and
+    are not cacheable, so profiled suites must bypass the sweep cache
+    (see ``repro.experiments.profile``).  Recording is passive: the
+    returned suite is identical with or without a sink.
     """
     wanted = configs or list(KNOWN_CONFIG_NAMES)
     unknown = [name for name in wanted if name not in KNOWN_CONFIG_NAMES]
@@ -201,11 +218,20 @@ def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
         raise ValueError(
             f"unknown configuration name(s) {unknown!r}; choose from "
             f"{list(KNOWN_CONFIG_NAMES)}")
+
+    def _registry(name: str):
+        if obs_sink is None:
+            return None
+        from repro.obs import MetricsRegistry
+        obs_sink[name] = MetricsRegistry()
+        return obs_sink[name]
+
     suite = SublayerSuite(label=label or shape.name, shape=shape,
                           system=system)
 
     topo, gemm_t, rs_t, ag_t = _run_sequential(system, shape, record_traffic,
-                                               faults, check_invariants)
+                                               faults, check_invariants,
+                                               obs=_registry("Sequential"))
     suite.gemm_time, suite.rs_time, suite.ag_time = gemm_t, rs_t, ag_t
     suite.times["Sequential"] = gemm_t + rs_t + ag_t
     suite.traffic["Sequential"] = collect_breakdown(topo.gpus)
@@ -215,7 +241,7 @@ def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
             continue
         topo_f, _fused, total = _run_fused(
             system, shape, config_by_name(name), record_traffic,
-            faults, check_invariants)
+            faults, check_invariants, obs=_registry(name))
         suite.times[name] = total
         suite.traffic[name] = collect_breakdown(topo_f.gpus)
 

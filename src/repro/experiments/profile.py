@@ -1,0 +1,86 @@
+"""The ``profile`` experiment: overlap decomposition of the sweep cases.
+
+Runs the simulated Section 5.3 configurations (Sequential, T3, T3-MCA —
+the Ideal-* configurations are closed-form, there is no run to profile)
+with a fresh :class:`~repro.obs.MetricsRegistry` attached per run, then
+reduces each run's telemetry to the paper's overlap decomposition via
+:mod:`repro.obs.profiler`.
+
+Profiled runs always bypass the persistent sweep cache: a cached
+:class:`~repro.experiments.common.SublayerSuite` carries no registry, so
+replaying one would silently produce an empty profile.  Keep profiled
+case lists small (``--config`` filters by case label) or expect fresh
+simulation time.
+
+CLI::
+
+    python -m repro.experiments.runner profile figure16 --config fc2
+    python -m repro.experiments.runner figure16 --profile overlap.json
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.sublayer_sweep import (
+    _resolve_spec,
+    default_cases,
+    simulate_case,
+)
+from repro.models.transformer import SubLayer
+from repro.obs.profiler import (
+    PROFILED_CONFIGS,
+    OverlapReport,
+    profile_case,
+)
+
+
+def _normalize(text: str) -> str:
+    return "".join(ch for ch in text.lower() if ch.isalnum())
+
+
+def filter_cases(cases: Sequence[SubLayer],
+                 case_filter: Optional[str]) -> List[SubLayer]:
+    """Select cases whose label contains ``case_filter``, compared with
+    case and punctuation stripped — ``fc2`` matches ``.../FC-2/TP8``."""
+    if not case_filter:
+        return list(cases)
+    needle = _normalize(case_filter)
+    selected = [sub for sub in cases if needle in _normalize(sub.label)]
+    if not selected:
+        raise ValueError(
+            f"case filter {case_filter!r} matched none of: "
+            + ", ".join(sub.label for sub in cases))
+    return selected
+
+
+def run(fast: bool = True, large: bool = False,
+        case_filter: Optional[str] = None,
+        cases: Optional[Sequence[SubLayer]] = None,
+        configs: Sequence[str] = PROFILED_CONFIGS) -> OverlapReport:
+    """Profile the (filtered) sweep cases; returns the overlap report."""
+    selected = filter_cases(
+        list(cases) if cases is not None else default_cases(large),
+        case_filter)
+    report = OverlapReport(fast=fast)
+    for sub in selected:
+        spec = _resolve_spec(sub, fast, None, configs)
+        registries: Dict[str, object] = {}
+        suite = simulate_case(spec.sub, spec.scale, spec.system,
+                              list(spec.configs), obs_sink=registries)
+        report.add(profile_case(suite.label, registries, times={
+            name: suite.times[name] for name in registries
+            if name in suite.times
+        }))
+    return report
+
+
+def write_report(report: OverlapReport, path) -> pathlib.Path:
+    """Dump the report as JSON (the ``--profile out.json`` payload)."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report.to_dict(), indent=2,
+                                 sort_keys=True) + "\n")
+    return target

@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments.runner figure16 --full --jobs 8
     python -m repro.experiments.runner all --cache-dir /tmp/t3-cache
     python -m repro.experiments.runner figure16 --no-cache
+    python -m repro.experiments.runner profile figure16 --config fc2
+    python -m repro.experiments.runner figure16 --profile overlap.json
 
 Sub-layer sweep cases are cached persistently (content-addressed, under
 ``~/.cache/repro-t3`` unless ``--cache-dir`` / ``$REPRO_T3_CACHE_DIR``
@@ -23,8 +25,8 @@ from typing import Callable, Dict
 
 from repro.experiments import (
     dp_overlap, extensions, fault_sweep, figure4, figure6, figure15,
-    figure16, figure17, figure18, figure19, figure20, related_work,
-    sublayer_sweep, tables, validation,
+    figure16, figure17, figure18, figure19, figure20, profile,
+    related_work, sublayer_sweep, tables, validation,
 )
 
 EXPERIMENTS: Dict[str, Callable] = {
@@ -81,16 +83,55 @@ def configure_sweep(args: argparse.Namespace) -> None:
                              disk_cache=not args.no_cache)
 
 
+#: sweeps the ``profile`` subcommand knows how to profile.
+PROFILE_TARGETS = ("figure16", "figure16-large")
+
+
+def run_profile_command(args: argparse.Namespace) -> int:
+    """The ``profile`` subcommand: overlap decomposition of sweep cases."""
+    target = args.target or "figure16"
+    if target not in PROFILE_TARGETS:
+        print(f"profile target must be one of {PROFILE_TARGETS}, "
+              f"got {target!r}", file=sys.stderr)
+        return 2
+    started = time.time()
+    report = profile.run(fast=not args.full,
+                         large=(target == "figure16-large"),
+                         case_filter=args.config)
+    print(report.render())
+    if args.profile_out:
+        path = profile.write_report(report, args.profile_out)
+        print(f"[profile report written to {path}]")
+    print(f"[profile finished in {time.time() - started:.1f}s; "
+          f"{len(report.cases)} case(s), cache bypassed]")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="T3 reproduction experiment runner")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["all"],
-                        help="which table/figure to regenerate")
+                        choices=sorted(EXPERIMENTS) + ["all", "profile"],
+                        help="which table/figure to regenerate, or "
+                             "'profile' for the overlap profiler")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="profile only: which sweep to profile "
+                             f"({' / '.join(PROFILE_TARGETS)}; "
+                             "default figure16)")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale shapes (slower); default is a "
                              "token-scaled fast mode with identical "
                              "compute:communication balance")
+    parser.add_argument("--config", default=None, metavar="FILTER",
+                        help="profile only: restrict to cases whose label "
+                             "matches FILTER (case/punctuation ignored, "
+                             "e.g. 'fc2' matches '.../FC-2/TP8')")
+    parser.add_argument("--profile", dest="profile_out", default=None,
+                        metavar="FILE",
+                        help="write the overlap-profile report JSON to "
+                             "FILE (with 'profile', dumps that report; "
+                             "with other experiments, additionally "
+                             "profiles their sweep cases)")
     add_sweep_arguments(parser)
     parser.add_argument("--clear-cache", action="store_true",
                         help="delete every persistent sweep-cache entry "
@@ -100,6 +141,13 @@ def main(argv=None) -> int:
     if args.clear_cache:
         removed = sublayer_sweep.clear_disk_cache()
         print(f"[cleared {removed} sweep-cache entries]")
+
+    if args.experiment == "profile":
+        return run_profile_command(args)
+    if args.target is not None:
+        print(f"positional target {args.target!r} is only valid with the "
+              "'profile' subcommand", file=sys.stderr)
+        return 2
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
@@ -113,6 +161,11 @@ def main(argv=None) -> int:
         if sweep.hits or sweep.misses:
             line += f"; sweep cache: {sweep.render()}"
         print(line + "]\n")
+
+    if args.profile_out:
+        report = profile.run(fast=not args.full, case_filter=args.config)
+        path = profile.write_report(report, args.profile_out)
+        print(f"[profile report written to {path}]")
     return 0
 
 

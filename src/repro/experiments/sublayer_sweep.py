@@ -137,9 +137,12 @@ def _resolve_spec(sub: SubLayer, fast: bool,
 def simulate_case(sub: SubLayer, scale: int, system: SystemConfig,
                   configs: Optional[List[str]] = None,
                   faults: Optional[FaultPlan] = None,
-                  check_invariants: bool = False) -> SublayerSuite:
+                  check_invariants: bool = False,
+                  obs_sink=None) -> SublayerSuite:
     """Simulate one fully-resolved case (no caching; executor workers and
-    the serial path both land here)."""
+    the serial path both land here).  ``obs_sink`` opts into per-config
+    telemetry registries — profiled calls must stay off the cache path
+    (registries are per-run state, not cacheable payload)."""
     # Keep the scaled output chunkable: need >= tp workgroup tiles.
     tiles_n = max(1, sub.gemm.n // system.gemm.macro_tile_n)
     rows_needed = -(-sub.tp // tiles_n)  # ceil
@@ -147,7 +150,8 @@ def simulate_case(sub: SubLayer, scale: int, system: SystemConfig,
     shape = scaled_shape(sub.gemm, scale, min_m=min_m)
     return run_sublayer_suite(system, shape, label=sub.label,
                               configs=configs, faults=faults,
-                              check_invariants=check_invariants)
+                              check_invariants=check_invariants,
+                              obs_sink=obs_sink)
 
 
 def run_case(sub: SubLayer, fast: bool = True,

@@ -51,6 +51,33 @@ class FaultInjector:
         self._pressure_counters: Dict[Tuple[int, int], int] = {}
         #: audit log of every fault actually applied, in application order.
         self.applied: List[Tuple] = []
+        #: realized fault-event counts by kind (always maintained — cheap,
+        #: and lets post-run reports compare observed vs. planned incidence
+        #: without an obs registry attached).
+        self.counts: Dict[str, int] = {}
+        #: optional repro.obs.MetricsRegistry mirror (see :meth:`bind_obs`).
+        self._obs = None
+
+    # -- observability -------------------------------------------------------
+
+    def bind_obs(self, registry) -> None:
+        """Mirror realized fault events into ``registry``.
+
+        Counters land in scope ``(gpu_id, "faults")`` so per-GPU fault
+        incidence lines up with the rest of the telemetry.  Binding is
+        passive — it never changes which faults fire.
+        """
+        self._obs = registry
+
+    def _record(self, kind: str, gpu_id: int, value: float = 1) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if self._obs is not None:
+            self._obs.scope(gpu_id, "faults").count(kind, value)
+
+    def observed_incidence(self) -> Dict[str, int]:
+        """Realized fault-event counts by kind, for observed-vs-planned
+        reporting against :meth:`FaultPlan.planned_incidence`."""
+        return dict(self.counts)
 
     # -- deterministic pseudo-randomness ------------------------------------
 
@@ -70,6 +97,8 @@ class FaultInjector:
         for fault in self.plan.compute:
             if fault.matches(gpu_id, now):
                 factor *= fault.factor
+        if factor != 1.0:
+            self._record("straggler_slowdowns", gpu_id)
         return factor
 
     # -- link seams -----------------------------------------------------------
@@ -82,6 +111,7 @@ class FaultInjector:
                 if fault.bandwidth_factor != 1.0 or fault.extra_latency_ns:
                     self.applied.append(
                         ("link-degraded", src, dst, fault.bandwidth_factor))
+                    self._record("links_degraded", src)
                 bandwidth *= fault.bandwidth_factor
                 latency_ns += fault.extra_latency_ns
         return bandwidth, latency_ns
@@ -97,6 +127,10 @@ class FaultInjector:
                     < fault.stall_probability):
                 stall += fault.stall_ns
                 self.applied.append(("link-stall", src, dst, fault.stall_ns))
+                self._record("link_stalls", src)
+                if self._obs is not None:
+                    self._obs.scope(src, "faults").count(
+                        "link_stall_ns", fault.stall_ns)
         return stall
 
     # -- DMA completion seam ---------------------------------------------------
@@ -115,6 +149,7 @@ class FaultInjector:
                 self._dma_budgets[index] -= 1
                 self.applied.append(
                     ("dma-" + fault.action, gpu_id, command_id))
+                self._record(f"dma_{fault.action}", gpu_id)
                 return fault
         return None
 
@@ -136,6 +171,7 @@ class FaultInjector:
 
     def record_eviction(self, gpu_id: int, region_key: Tuple) -> None:
         self.applied.append(("tracker-evict", gpu_id, region_key))
+        self._record("tracker_evictions", gpu_id)
 
     # -- reporting ---------------------------------------------------------------
 

@@ -191,6 +191,21 @@ class FaultPlan:
     def is_empty(self) -> bool:
         return not (self.compute or self.links or self.dma or self.tracker)
 
+    def planned_incidence(self) -> Dict[str, int]:
+        """Planned fault sites by kind — what *could* fire.
+
+        Stochastic / windowed families report plan-entry counts (the
+        realized event count depends on traffic); bounded families report
+        their event budgets.  Compare against
+        :meth:`~repro.faults.injector.FaultInjector.observed_incidence`.
+        """
+        return {
+            "straggler_windows": len(self.compute),
+            "link_faults": len(self.links),
+            "dma_fault_budget": sum(f.max_events for f in self.dma),
+            "tracker_pressure_rules": len(self.tracker),
+        }
+
     # -- serialization (mirrors SystemConfig's contract) --------------------
 
     def to_dict(self) -> Dict[str, Any]:

@@ -73,6 +73,9 @@ class DMAEngine:
         self.dropped_completions: List[str] = []
         #: duplicated completion notifications delivered and absorbed.
         self.duplicates_absorbed = 0
+        #: live transfers (triggered, remote writes not yet all serviced).
+        self.inflight_commands = 0
+        self.inflight_bytes = 0
 
     # -- programming (done at configuration time, Figure 12) -------------------
 
@@ -111,6 +114,16 @@ class DMAEngine:
             self.env.invariants.on_trigger_fired(
                 f"DMA command {command_id} on GPU {self.gpu.gpu_id}")
         command = self._commands[command_id]
+        self.inflight_commands += 1
+        self.inflight_bytes += command.nbytes
+        if self.env.obs is not None:
+            scope = self.env.obs.scope(self.gpu.gpu_id, "dma")
+            scope.count("triggers")
+            scope.count("bytes_triggered", command.nbytes)
+            scope.gauge("inflight_commands").set(
+                self.env.now, self.inflight_commands)
+            scope.gauge("inflight_bytes").set(
+                self.env.now, self.inflight_bytes)
         self.env.process(
             self._run(command), name=f"dma.{self.gpu.gpu_id}.{command_id}")
         return self._completions[command_id]
@@ -145,6 +158,17 @@ class DMAEngine:
             for wg_id, nbytes in command.wg_slices
         ]
         yield self.env.all_of(slice_procs)
+        self.inflight_commands -= 1
+        self.inflight_bytes -= command.nbytes
+        if self.env.obs is not None:
+            scope = self.env.obs.scope(self.gpu.gpu_id, "dma")
+            scope.count("completions")
+            scope.observe("transfer_ns", self.env.now - start)
+            scope.span("transfer", start, self.env.now)
+            scope.gauge("inflight_commands").set(
+                self.env.now, self.inflight_commands)
+            scope.gauge("inflight_bytes").set(
+                self.env.now, self.inflight_bytes)
         if self.env.trace is not None:
             self.env.trace.span(
                 name=f"{command.command_id}->gpu{command.dst_gpu_id}",

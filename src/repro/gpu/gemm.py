@@ -206,6 +206,13 @@ class GEMMKernel:
             write_events = self.sink.store_stage(gpu, self, stage)
             self.result.write_bytes += self.traffic.stage_write_bytes[stage.index]
             self.result.stage_ends.append(env.now)
+            if env.obs is not None:
+                scope = env.obs.scope(gpu.gpu_id, "gemm")
+                wfs = stage.n_wgs * self.grid.kernel.wfs_per_wg
+                scope.count("wgs_retired", stage.n_wgs)
+                scope.count("wfs_retired", wfs)
+                scope.series("wf_retired").record(env.now, wfs)
+                scope.series("stage_end").record(env.now, stage.index)
 
             if stage.index == 0 and self.calibrate_mca:
                 duration = env.now - first_stage_start

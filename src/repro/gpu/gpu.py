@@ -73,6 +73,10 @@ class GPU:
             result = yield self.env.process(
                 kernel.execute(self), name=f"gpu{self.gpu_id}.{label}")
             self.intervals.end(tag, self.env.now)
+            if self.env.obs is not None:
+                scope = self.env.obs.scope(self.gpu_id, "compute")
+                scope.span("kernel", start, self.env.now)
+                scope.count("kernels")
             if self.env.trace is not None:
                 self.env.trace.span(
                     name=label, category="kernel", start_ns=start,

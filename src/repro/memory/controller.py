@@ -57,6 +57,7 @@ class MemoryController:
                 ccdwl_factor=memory.nmc_ccdwl_factor,
                 policy=make_policy(policy_name, config.mca),
                 on_serviced=self._on_serviced,
+                gpu_id=gpu_id,
             )
             for i in range(memory.n_channels)
         ]
@@ -135,6 +136,14 @@ class MemoryController:
             done.succeed()
         else:
             self._drain_waiters[stream].append(done)
+            if self.env.obs is not None:
+                scope = self.env.obs.scope(self.gpu_id, "mc")
+                scope.count(f"drain_waits.{stream.value}")
+                t0 = self.env.now
+                done.add_callback(
+                    lambda _ev, scope=scope, t0=t0, stream=stream:
+                    scope.observe(f"drain_stall_ns.{stream.value}",
+                                  self.env.now - t0))
         return done
 
     def drain_all(self) -> BaseEvent:

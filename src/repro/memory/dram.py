@@ -30,7 +30,8 @@ class HBMChannel:
     def __init__(self, env: Environment, channel_id: int,
                  bandwidth_bytes_per_ns: float, queue_depth: int,
                  ccdwl_factor: float, policy: ArbitrationPolicy,
-                 on_serviced: Optional[Callable[[MemRequest], None]] = None):
+                 on_serviced: Optional[Callable[[MemRequest], None]] = None,
+                 gpu_id: int = 0):
         if bandwidth_bytes_per_ns <= 0:
             raise ValueError("channel bandwidth must be positive")
         if queue_depth < 1:
@@ -39,6 +40,7 @@ class HBMChannel:
             raise ValueError("CCDWL factor must be >= 1 (it is a penalty)")
         self.env = env
         self.channel_id = channel_id
+        self.gpu_id = gpu_id
         self.bandwidth = bandwidth_bytes_per_ns
         self.queue_depth = queue_depth
         self.ccdwl_factor = ccdwl_factor
@@ -118,11 +120,46 @@ class HBMChannel:
             now=self.env.now,
         )
 
+    def _record_arbitration(self, state: Optional[ArbiterState],
+                            choice: Optional[Stream]) -> None:
+        """Publish one arbitration decision (obs enabled only).
+
+        ``state is None`` means the DRAM queue was full — no policy
+        consultation happened, every backlogged stream was deferred.
+        """
+        scope = self.env.obs.scope(self.gpu_id, "arbiter")
+        threshold = getattr(self.policy, "threshold", None)
+        gate = "inf" if threshold is None else str(threshold)
+        if state is None:
+            if self._queues[Stream.COMM]:
+                scope.count("comm_deferrals.queue_full")
+            if self._queues[Stream.COMPUTE]:
+                scope.count("compute_deferrals.queue_full")
+            return
+        if choice is Stream.COMM:
+            scope.count(f"comm_grants.t{gate}")
+            if state.compute_waiting > 0:
+                # Comm beat waiting compute: only the starvation guard
+                # (or round-robin fairness) does that.
+                scope.count("anti_starvation_fires")
+        elif state.comm_waiting > 0:
+            # A comm request was held back this round.
+            if state.compute_waiting > 0:
+                scope.count("comm_deferrals.compute_busy")
+            else:
+                scope.count(f"comm_deferrals.t{gate}")
+        if choice is Stream.COMPUTE:
+            scope.count("compute_grants")
+
     def _issue_loop(self):
         while True:
             choice: Optional[Stream] = None
+            state: Optional[ArbiterState] = None
             if self.dram_occupancy < self.queue_depth:
-                choice = self.policy.choose(self._state())
+                state = self._state()
+                choice = self.policy.choose(state)
+            if self.env.obs is not None:
+                self._record_arbitration(state, choice)
             if choice is None:
                 self._issue_wake = BaseEvent(self.env)
                 yield self._issue_wake
@@ -130,6 +167,10 @@ class HBMChannel:
                 continue
             request = self._queues[choice].popleft()
             self._dram_q.append(request)
+            if self.env.obs is not None:
+                self.env.obs.scope(self.gpu_id, "dram").gauge(
+                    f"ch{self.channel_id}.occupancy").set(
+                        self.env.now, self.dram_occupancy)
             self.policy.on_issue(choice, self.env.now)
             self._wake_service()
             # Yield a zero-timeout so issue/service interleave fairly and
@@ -149,6 +190,21 @@ class HBMChannel:
             yield self.env.timeout(duration)
             self._in_service = 0
             self.busy_time += duration
+            if self.env.obs is not None:
+                scope = self.env.obs.scope(self.gpu_id, "dram")
+                now = self.env.now
+                if request.kind is AccessKind.UPDATE:
+                    scope.count("nmc_updates")
+                elif request.kind is AccessKind.WRITE:
+                    scope.count("writes")
+                else:
+                    scope.count("reads")
+                scope.count(f"bytes.{request.stream.value}", request.nbytes)
+                scope.observe(f"service_ns.{request.stream.value}", duration)
+                if request.stream is Stream.COMM:
+                    scope.span("comm_service", now - duration, now)
+                scope.gauge(f"ch{self.channel_id}.occupancy").set(
+                    now, self.dram_occupancy)
             trace = self.env.trace
             if trace is not None and trace.record_dram:
                 trace.span(

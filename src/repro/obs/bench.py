@@ -1,0 +1,123 @@
+"""Benchmark-trajectory schema: the ``BENCH_*.json`` contract.
+
+``scripts/bench.py`` captures one *bench point* per invocation — host
+wall-clock plus the simulated speedups and overlap efficiencies of a
+small case set — and writes it as a schema-versioned JSON file
+(``results/BENCH_0003.json`` is the checked-in trajectory point for this
+revision).  CI re-captures a smoke point on every push and validates
+both files against this schema, so regressions in either the simulated
+results or the capture pipeline fail loudly.
+
+This module is deliberately free of experiment imports: it defines the
+payload layout and validates instances, nothing else, so tests and CI
+can validate checked-in files without simulating anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: schema identity: bump the version on any breaking layout change and
+#: keep ``validate`` accepting only the current version.
+BENCH_SCHEMA = "t3-bench"
+BENCH_SCHEMA_VERSION = 1
+
+#: modes a bench point can be captured in.
+BENCH_MODES = ("smoke", "fast", "full")
+
+_REQUIRED_TOP = ("schema", "schema_version", "mode", "captured_at",
+                 "host", "wall_clock_s", "experiments")
+_REQUIRED_EXPERIMENT = ("case", "wall_clock_s", "speedups",
+                        "overlap_efficiency")
+
+
+def build_payload(mode: str, captured_at: str, host: Dict[str, str],
+                  wall_clock_s: float,
+                  experiments: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Assemble a bench point; raises on anything the schema rejects."""
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "mode": mode,
+        "captured_at": captured_at,
+        "host": host,
+        "wall_clock_s": wall_clock_s,
+        "experiments": experiments,
+    }
+    errors = validate(payload)
+    if errors:
+        raise ValueError("bench payload invalid: " + "; ".join(errors))
+    return payload
+
+
+def validate(payload: Any) -> List[str]:
+    """All schema violations in ``payload`` (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+    for key in _REQUIRED_TOP:
+        if key not in payload:
+            errors.append(f"missing top-level key {key!r}")
+    if errors:
+        return errors
+    if payload["schema"] != BENCH_SCHEMA:
+        errors.append(f"schema must be {BENCH_SCHEMA!r}, "
+                      f"got {payload['schema']!r}")
+    if payload["schema_version"] != BENCH_SCHEMA_VERSION:
+        errors.append(f"schema_version must be {BENCH_SCHEMA_VERSION}, "
+                      f"got {payload['schema_version']!r}")
+    if payload["mode"] not in BENCH_MODES:
+        errors.append(f"mode must be one of {BENCH_MODES}, "
+                      f"got {payload['mode']!r}")
+    if not isinstance(payload["captured_at"], str) \
+            or not payload["captured_at"]:
+        errors.append("captured_at must be a non-empty string")
+    if not isinstance(payload["host"], dict):
+        errors.append("host must be an object")
+    if not _positive_number(payload["wall_clock_s"]):
+        errors.append("wall_clock_s must be a positive number")
+    experiments = payload["experiments"]
+    if not isinstance(experiments, list) or not experiments:
+        errors.append("experiments must be a non-empty list")
+        return errors
+    for index, entry in enumerate(experiments):
+        errors.extend(_validate_experiment(index, entry))
+    return errors
+
+
+def _validate_experiment(index: int, entry: Any) -> List[str]:
+    where = f"experiments[{index}]"
+    if not isinstance(entry, dict):
+        return [f"{where} must be an object"]
+    errors = [f"{where} missing key {key!r}"
+              for key in _REQUIRED_EXPERIMENT if key not in entry]
+    if errors:
+        return errors
+    if not isinstance(entry["case"], str) or not entry["case"]:
+        errors.append(f"{where}.case must be a non-empty string")
+    if not _positive_number(entry["wall_clock_s"]):
+        errors.append(f"{where}.wall_clock_s must be a positive number")
+    speedups = entry["speedups"]
+    if not isinstance(speedups, dict) or not speedups:
+        errors.append(f"{where}.speedups must be a non-empty object")
+    else:
+        for config, value in speedups.items():
+            if not _positive_number(value):
+                errors.append(f"{where}.speedups[{config!r}] must be a "
+                              "positive number")
+    efficiency = entry["overlap_efficiency"]
+    if not isinstance(efficiency, dict) or not efficiency:
+        errors.append(f"{where}.overlap_efficiency must be a non-empty "
+                      "object")
+    else:
+        for config, value in efficiency.items():
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or not 0.0 <= value <= 1.0:
+                errors.append(f"{where}.overlap_efficiency[{config!r}] "
+                              "must be a number in [0, 1]")
+    return errors
+
+
+def _positive_number(value: Any) -> bool:
+    return (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and value > 0)

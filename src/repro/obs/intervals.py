@@ -1,0 +1,75 @@
+"""Interval-set algebra over ``(start, end)`` busy spans.
+
+The overlap profiler reduces a run to three interval sets — compute-busy,
+communication-busy and their overlap — so the headline decomposition
+(compute / hidden-communication / exposed-communication) is plain set
+arithmetic: hidden = ``comm & compute``, exposed = ``comm - compute``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+Interval = Tuple[float, float]
+
+
+def merge(intervals: Iterable[Interval]) -> List[Interval]:
+    """Union of possibly-overlapping intervals, sorted and disjoint."""
+    ordered = sorted((s, e) for s, e in intervals if e > s)
+    merged: List[Interval] = []
+    for start, end in ordered:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def total(intervals: Sequence[Interval]) -> float:
+    return sum(end - start for start, end in intervals)
+
+
+def intersect(a: Sequence[Interval], b: Sequence[Interval]) -> List[Interval]:
+    """Intersection of two *merged* interval lists."""
+    out: List[Interval] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        start = max(a[i][0], b[j][0])
+        end = min(a[i][1], b[j][1])
+        if end > start:
+            out.append((start, end))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def subtract(a: Sequence[Interval], b: Sequence[Interval]) -> List[Interval]:
+    """Portions of *merged* ``a`` not covered by *merged* ``b``."""
+    out: List[Interval] = []
+    j = 0
+    for start, end in a:
+        cursor = start
+        while j < len(b) and b[j][1] <= cursor:
+            j += 1
+        k = j
+        while k < len(b) and b[k][0] < end:
+            if b[k][0] > cursor:
+                out.append((cursor, b[k][0]))
+            cursor = max(cursor, b[k][1])
+            k += 1
+        if cursor < end:
+            out.append((cursor, end))
+    return out
+
+
+def clip(intervals: Sequence[Interval], lo: float,
+         hi: float) -> List[Interval]:
+    """Restrict *merged* intervals to the window ``[lo, hi]``."""
+    out: List[Interval] = []
+    for start, end in intervals:
+        start, end = max(start, lo), min(end, hi)
+        if end > start:
+            out.append((start, end))
+    return out

@@ -1,0 +1,107 @@
+"""Export :class:`~repro.obs.registry.MetricsRegistry` gauges and series
+as Chrome/Perfetto counter tracks.
+
+Counter ("C") events render as stepped area charts in
+`Perfetto <https://ui.perfetto.dev>`_ / ``chrome://tracing``, directly
+under the span tracks the :class:`~repro.analysis.trace.TraceRecorder`
+already emits — DMA queue depth, Tracker occupancy and DRAM queue levels
+line up on the same timeline as the kernels and transfers that caused
+them.  Timestamps follow the trace format's microsecond unit (ns / 1e3),
+matching ``TraceRecorder.to_chrome_events``.
+
+Use :func:`merge_into_trace` (or ``TraceRecorder.save(path,
+registry=...)``) to write one file containing both spans and counters.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+#: trace "process" grouping every counter track.
+COUNTER_GROUP = "metrics"
+
+
+def counter_events(registry: MetricsRegistry,
+                   max_samples_per_track: Optional[int] = None,
+                   ) -> List[Dict[str, Any]]:
+    """Chrome counter ("C") events for every gauge and series sample.
+
+    One track per ``(gpu, component, metric)``; gauges export their raw
+    samples (the level each ``set`` recorded), series export their
+    values at their timestamps.  ``max_samples_per_track`` uniformly
+    subsamples very long tracks (keeping first and last) so merged trace
+    files stay loadable.
+    """
+    events: List[Dict[str, Any]] = []
+    for scope in registry.scopes():
+        prefix = f"gpu{scope.gpu}" if scope.gpu >= 0 else "global"
+        for name, gauge in sorted(scope.gauges.items()):
+            track = f"{prefix}.{scope.component}.{name}"
+            events.extend(_track_events(track, gauge.samples,
+                                        max_samples_per_track))
+        for name in scope.series_names():
+            series = scope.get_series(name)
+            if series is None or not len(series):
+                continue
+            track = f"{prefix}.{scope.component}.{name}"
+            events.extend(_track_events(
+                track, list(zip(series.times, series.values)),
+                max_samples_per_track))
+    return events
+
+
+def _track_events(track: str, samples, limit: Optional[int],
+                  ) -> List[Dict[str, Any]]:
+    if not samples:
+        return []
+    if limit is not None and limit >= 2 and len(samples) > limit:
+        step = (len(samples) - 1) / (limit - 1)
+        samples = [samples[round(i * step)] for i in range(limit)]
+    return [
+        {
+            "name": track,
+            "ph": "C",
+            "ts": when / 1e3,
+            "pid": COUNTER_GROUP,
+            "args": {"value": value},
+        }
+        for when, value in samples
+    ]
+
+
+def merge_into_trace(trace_events: List[Dict[str, Any]],
+                     registry: MetricsRegistry,
+                     max_samples_per_track: Optional[int] = None,
+                     ) -> List[Dict[str, Any]]:
+    """Spans + counters in one event list, counters in timestamp order."""
+    counters = sorted(counter_events(registry, max_samples_per_track),
+                      key=lambda event: event["ts"])
+    return trace_events + counters
+
+
+def save_merged(path: str, trace, registry: MetricsRegistry,
+                max_samples_per_track: Optional[int] = None) -> None:
+    """Write one Chrome-format JSON holding the trace's span events and
+    the registry's counter tracks (``trace`` is a TraceRecorder)."""
+    payload = {
+        "traceEvents": merge_into_trace(trace.to_chrome_events(), registry,
+                                        max_samples_per_track),
+        "displayTimeUnit": "ns",
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_counter_tracks(path: str) -> Dict[str, List[Dict[str, Any]]]:
+    """Load a saved trace and group its counter events by track name —
+    the round-trip helper the Perfetto tests check monotonicity with."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    tracks: Dict[str, List[Dict[str, Any]]] = {}
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") == "C":
+            tracks.setdefault(event["name"], []).append(event)
+    return tracks

@@ -186,6 +186,11 @@ class Environment:
         #: optional repro.faults.InvariantChecker; components report
         #: observations into it when set.
         self.invariants = None
+        #: optional repro.obs.MetricsRegistry; components publish
+        #: counters/gauges/spans into it when set.  Recording is passive
+        #: (never schedules events), so simulation results are identical
+        #: with the registry attached or absent.
+        self.obs = None
         #: watchdog limits (None = unbounded); see configure_watchdog.
         self.max_events: Optional[int] = None
         self.max_sim_ns: Optional[float] = None

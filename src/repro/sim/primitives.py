@@ -245,6 +245,7 @@ class Pipe:
             raise SimulationError("cannot transfer negative bytes")
         start = max(self.env.now, self._wire_free_at)
         faults = self.env.faults
+        stall = 0.0
         if faults is not None and self.endpoints is not None:
             stall = faults.transfer_stall(
                 self.endpoints[0], self.endpoints[1], self.env.now)
@@ -255,6 +256,13 @@ class Pipe:
         self._wire_free_at = start + serialization
         self.bytes_sent += nbytes
         self.busy_time += serialization
+        if self.env.obs is not None:
+            src = self.endpoints[0] if self.endpoints is not None else -1
+            scope = self.env.obs.scope(src, "link")
+            scope.span(self.name, start, start + serialization)
+            scope.count(f"{self.name}.bytes", nbytes)
+            if stall:
+                scope.count(f"{self.name}.stall_ns", stall)
         if self.env.trace is not None:
             self.env.trace.span(
                 name=f"{nbytes / 1024:.0f}KiB", category="link",

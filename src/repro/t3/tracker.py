@@ -89,6 +89,9 @@ class Tracker:
         ]
         self._on_complete: List[Callable[[RegionKey], None]] = []
         self.stats = TrackerStats()
+        #: issue time of the request currently being credited; lets the
+        #: completing credit report trigger-fire latency (issue -> fire).
+        self._crediting_issued_at: Optional[float] = None
         if env is not None:
             env.add_diagnostic(self._diagnostic)
             if env.invariants is not None:
@@ -124,6 +127,10 @@ class Tracker:
         self.stats.regions_programmed += 1
         self.stats.peak_ways_used = max(
             self.stats.peak_ways_used, len(entry_set))
+        if self.env is not None and self.env.obs is not None:
+            scope = self.env.obs.scope(self.gpu_id, "tracker")
+            scope.count("regions_programmed")
+            scope.gauge("live_regions").set(self.env.now, self.live_regions)
 
     def _force_evict(self) -> None:
         """Entry-table pressure fault: drop the oldest live region.
@@ -153,6 +160,7 @@ class Tracker:
             self.stats.untracked_updates += 1
             return
         self.stats.updates_observed += 1
+        self._crediting_issued_at = request.issued_at
         if self.granularity == "wf" and request.wf_id is None:
             # A WG-granular store covers all of the WG's WF regions.
             self._spread_over_wfs(request)
@@ -192,6 +200,16 @@ class Tracker:
         if entry.complete:
             del entry_set[key]
             self.stats.regions_completed += 1
+            if self.env is not None and self.env.obs is not None:
+                scope = self.env.obs.scope(self.gpu_id, "tracker")
+                scope.count("regions_completed")
+                if self._crediting_issued_at is not None:
+                    # Latency from the region's last expected update being
+                    # issued to the completion firing downstream triggers.
+                    scope.observe("trigger_latency_ns",
+                                  self.env.now - self._crediting_issued_at)
+                scope.gauge("live_regions").set(
+                    self.env.now, self.live_regions)
             for fn in self._on_complete:
                 fn(key)
 

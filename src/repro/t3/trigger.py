@@ -51,6 +51,7 @@ class TriggerController:
         self._blocks: Dict[str, DMABlock] = {}
         self._region_to_block: Dict[RegionKey, str] = {}
         self._terminal_events: Dict[str, BaseEvent] = {}
+        self._first_complete: Dict[str, float] = {}
         tracker.add_completion_listener(self._on_region_complete)
         env.add_diagnostic(self._diagnostic)
 
@@ -95,12 +96,21 @@ class TriggerController:
         block = self._blocks[block_id]
         if region in block.completed:
             raise RuntimeError(f"region {region} completed twice")
+        if not block.completed:
+            self._first_complete[block_id] = self.env.now
         block.completed.add(region)
         if block.remaining == 0 and not block.fired:
             block.fired = True
             if self.env.invariants is not None:
                 self.env.invariants.on_trigger_fired(
                     f"trigger block {block_id}")
+            if self.env.obs is not None:
+                scope = self.env.obs.scope(self.dma.gpu.gpu_id, "trigger")
+                scope.count("terminal_fires" if block.is_terminal
+                            else "dma_fires")
+                first = self._first_complete.get(block_id, self.env.now)
+                # Gather window: first region done -> block fully updated.
+                scope.observe("block_gather_ns", self.env.now - first)
             if block.is_terminal:
                 self._terminal_events[block_id].succeed(self.env.now)
             else:

@@ -1,0 +1,132 @@
+"""Bench-trajectory schema tests (repro.obs.bench) plus validation of
+the checked-in results/BENCH_0003.json trajectory point."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_MODES,
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    build_payload,
+    validate,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def experiment(**overrides):
+    entry = {
+        "case": "Mega-GPT-2/FC-2/TP8",
+        "wall_clock_s": 2.5,
+        "speedups": {"T3": 1.3, "T3-MCA": 1.33},
+        "overlap_efficiency": {"Sequential": 0.0, "T3-MCA": 0.82},
+    }
+    entry.update(overrides)
+    return entry
+
+
+def payload(**overrides):
+    base = {
+        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "mode": "fast",
+        "captured_at": "2026-08-07T00:00:00+00:00",
+        "host": {"platform": "linux", "python": "3.11"},
+        "wall_clock_s": 10.0,
+        "experiments": [experiment()],
+    }
+    base.update(overrides)
+    return base
+
+
+def test_valid_payload_passes():
+    assert validate(payload()) == []
+
+
+def test_build_payload_round_trips():
+    built = build_payload(
+        mode="smoke",
+        captured_at="2026-08-07T00:00:00+00:00",
+        host={"platform": "linux"},
+        wall_clock_s=1.0,
+        experiments=[experiment()],
+    )
+    assert built["schema"] == BENCH_SCHEMA
+    assert validate(built) == []
+
+
+def test_build_payload_raises_on_invalid():
+    with pytest.raises(ValueError, match="mode"):
+        build_payload(mode="warp", captured_at="t", host={},
+                      wall_clock_s=1.0, experiments=[experiment()])
+
+
+def test_non_dict_payload_rejected():
+    assert validate([]) != []
+    assert validate(None) != []
+
+
+def test_missing_top_level_keys_reported():
+    bad = payload()
+    del bad["captured_at"], bad["experiments"]
+    errors = validate(bad)
+    assert any("captured_at" in error for error in errors)
+    assert any("experiments" in error for error in errors)
+
+
+def test_schema_identity_enforced():
+    assert any("schema" in e for e in validate(payload(schema="other")))
+    assert validate(payload(schema_version=BENCH_SCHEMA_VERSION + 1)) != []
+
+
+def test_mode_must_be_known():
+    for mode in BENCH_MODES:
+        assert validate(payload(mode=mode)) == []
+    assert validate(payload(mode="turbo")) != []
+
+
+def test_wall_clock_must_be_positive_number():
+    assert validate(payload(wall_clock_s=0)) != []
+    assert validate(payload(wall_clock_s=True)) != []  # bools rejected
+    assert validate(payload(wall_clock_s="3s")) != []
+
+
+def test_experiments_must_be_non_empty():
+    assert validate(payload(experiments=[])) != []
+    assert validate(payload(experiments="none")) != []
+
+
+def test_experiment_field_validation():
+    assert validate(payload(experiments=[experiment(case="")])) != []
+    assert validate(payload(experiments=[experiment(speedups={})])) != []
+    assert validate(payload(
+        experiments=[experiment(speedups={"T3": -1.0})])) != []
+    bad = experiment()
+    del bad["overlap_efficiency"]
+    errors = validate(payload(experiments=[bad]))
+    assert any("overlap_efficiency" in error for error in errors)
+
+
+def test_overlap_efficiency_bounded_to_unit_interval():
+    assert validate(payload(experiments=[
+        experiment(overlap_efficiency={"T3-MCA": 1.0})])) == []
+    assert validate(payload(experiments=[
+        experiment(overlap_efficiency={"T3-MCA": 1.2})])) != []
+    assert validate(payload(experiments=[
+        experiment(overlap_efficiency={"T3-MCA": -0.1})])) != []
+    assert validate(payload(experiments=[
+        experiment(overlap_efficiency={"T3-MCA": True})])) != []
+
+
+def test_checked_in_trajectory_point_is_valid():
+    path = REPO_ROOT / "results" / "BENCH_0003.json"
+    data = json.loads(path.read_text())
+    assert validate(data) == []
+    assert data["mode"] == "fast"
+    assert data["experiments"], "trajectory point has no experiments"
+    for entry in data["experiments"]:
+        assert 0.0 <= entry["overlap_efficiency"]["T3-MCA"] <= 1.0
+        assert "hidden_comm_ns" in entry

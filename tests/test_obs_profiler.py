@@ -1,0 +1,167 @@
+"""Unit tests for the overlap profiler (repro.obs.profiler) on small
+synthetic registries with known-by-construction decompositions."""
+
+import pytest
+
+from repro.obs.profiler import (
+    OverlapBreakdown,
+    OverlapReport,
+    attribute_stages,
+    comm_spans,
+    compute_spans,
+    decompose,
+    profile_case,
+    stage_boundaries,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def overlapped_registry() -> MetricsRegistry:
+    """Compute 0..100; link comm 50..150; dram comm 140..160.
+
+    comm union = [50, 160]; hidden = [50, 100] (50 ns);
+    exposed = [100, 160] (60 ns).
+    """
+    registry = MetricsRegistry()
+    registry.scope(0, "compute").span("kernel", 0, 100)
+    registry.scope(0, "link").span("wire", 50, 150)
+    registry.scope(1, "dram").span("comm_service", 140, 160)
+    return registry
+
+
+def sequential_registry() -> MetricsRegistry:
+    """Compute 0..100, then comm 100..160: nothing hidden."""
+    registry = MetricsRegistry()
+    registry.scope(0, "compute").span("kernel", 0, 100)
+    registry.scope(0, "link").span("wire", 100, 160)
+    return registry
+
+
+def test_compute_and_comm_span_extraction():
+    registry = overlapped_registry()
+    assert compute_spans(registry) == [(0, 100)]
+    assert comm_spans(registry) == [(50, 160)]
+
+
+def test_decompose_overlapped_run():
+    b = decompose(overlapped_registry())
+    assert b.total_ns == 160
+    assert b.compute_ns == 100
+    assert b.comm_ns == 110
+    assert b.hidden_ns == 50
+    assert b.exposed_ns == 60
+    assert b.hidden_ns + b.exposed_ns == pytest.approx(b.comm_ns)
+    assert b.overlap_efficiency == pytest.approx(50 / 110)
+
+
+def test_decompose_sequential_run_hides_nothing():
+    b = decompose(sequential_registry())
+    assert b.hidden_ns == 0
+    assert b.exposed_ns == 60
+    assert b.overlap_efficiency == 0.0
+
+
+def test_decompose_total_can_be_pinned():
+    assert decompose(overlapped_registry(), total_ns=500).total_ns == 500
+
+
+def test_decompose_empty_registry():
+    b = decompose(MetricsRegistry())
+    assert b == OverlapBreakdown(0.0, 0.0, 0.0, 0.0, 0.0)
+    assert b.overlap_efficiency == 0.0
+
+
+def test_stage_boundaries_take_slowest_gpu():
+    registry = MetricsRegistry()
+    registry.scope(0, "gemm").series("stage_end").record(80, 0)
+    registry.scope(0, "gemm").series("stage_end").record(150, 1)
+    registry.scope(1, "gemm").series("stage_end").record(90, 0)
+    registry.scope(1, "gemm").series("stage_end").record(140, 1)
+    assert stage_boundaries(registry) == [90, 150]
+
+
+def test_attribute_stages_tiles_the_run():
+    registry = overlapped_registry()
+    registry.scope(0, "gemm").series("stage_end").record(60, 0)
+    registry.scope(0, "gemm").series("stage_end").record(100, 1)
+    stages = attribute_stages(registry)
+    assert [s.stage for s in stages] == [0, 1]
+    # Window 0: [0, 60) -> compute 60, hidden [50, 60) = 10, exposed 0.
+    assert stages[0].compute_ns == 60
+    assert stages[0].hidden_ns == 10
+    assert stages[0].exposed_ns == 0
+    assert stages[0].dominant == "compute"
+    # Window 1: [60, 100) -> compute 40, hidden 40, exposed 0.
+    assert stages[1].compute_ns == 40
+    assert stages[1].hidden_ns == 40
+    assert stages[1].start_ns == stages[0].end_ns
+
+
+def test_attribute_stages_without_gemm_series():
+    assert attribute_stages(overlapped_registry()) == []
+
+
+def test_profile_case_pins_totals_from_suite_times():
+    case = profile_case(
+        "toy", {"Sequential": sequential_registry(),
+                "T3-MCA": overlapped_registry()},
+        times={"Sequential": 1000.0, "T3-MCA": 700.0})
+    assert case.configs["Sequential"].breakdown.total_ns == 1000.0
+    assert case.configs["T3-MCA"].breakdown.total_ns == 700.0
+    assert case.hidden_ns("T3-MCA") == 50
+    assert case.exposed_ns("Sequential") == 60
+
+
+def make_report() -> OverlapReport:
+    report = OverlapReport(fast=True)
+    report.add(profile_case("toy", {
+        "Sequential": sequential_registry(),
+        "T3-MCA": overlapped_registry(),
+    }))
+    return report
+
+
+def test_report_strict_hiding_verdict():
+    report = make_report()
+    assert report.check_strict_hiding("T3-MCA", "Sequential")
+    # A config absent from every case cannot claim the invariant.
+    assert not report.check_strict_hiding("T3", "Sequential")
+    assert not OverlapReport().check_strict_hiding()
+
+
+def test_report_strict_hiding_fails_on_a_tie():
+    report = OverlapReport()
+    report.add(profile_case("toy", {
+        "Sequential": sequential_registry(),
+        "T3-MCA": sequential_registry(),   # identical -> tie, not strict
+    }))
+    assert not report.check_strict_hiding("T3-MCA", "Sequential")
+
+
+def test_report_exposed_reduction_table():
+    summary = make_report().exposed_reduction_table().summary()
+    # Sequential exposes 60 ns, T3-MCA 60 ns too in this toy -> ratio 1.
+    geo, mx = summary["T3-MCA"]
+    assert geo == pytest.approx(1.0)
+    assert mx == pytest.approx(1.0)
+
+
+def test_report_exposed_reduction_floors_zero_exposure():
+    registry = MetricsRegistry()
+    registry.scope(0, "compute").span("kernel", 0, 200)
+    registry.scope(0, "link").span("wire", 50, 150)  # fully hidden
+    report = OverlapReport()
+    report.add(profile_case("toy", {
+        "Sequential": sequential_registry(), "T3-MCA": registry}))
+    geo, _mx = report.exposed_reduction_table().summary()["T3-MCA"]
+    assert geo == pytest.approx(60.0)  # 60 / floor(1.0)
+
+
+def test_report_to_dict_and_render():
+    report = make_report()
+    payload = report.to_dict()
+    assert payload["strict_hiding"] == {"T3-MCA": True}
+    assert payload["cases"][0]["label"] == "toy"
+    text = report.render()
+    assert "T3-MCA: strictly more comm hidden" in text
+    assert "toy" in text

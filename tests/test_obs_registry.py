@@ -1,0 +1,212 @@
+"""Unit tests for the metrics registry (repro.obs.registry) and the
+interval algebra (repro.obs.intervals)."""
+
+import pytest
+
+from repro.obs import intervals as iv
+from repro.obs.registry import (
+    Gauge,
+    MetricsRegistry,
+    SpanList,
+    TimeWeightedHistogram,
+    ValueStats,
+)
+
+
+# -------------------------------------------------------------------- Gauge
+
+def test_gauge_time_weighted_mean():
+    gauge = Gauge("depth")
+    gauge.set(0, 2.0)
+    gauge.set(10, 4.0)   # level 2 held for 10 ns
+    gauge.set(30, 0.0)   # level 4 held for 20 ns
+    assert gauge.time_weighted_mean() == pytest.approx(
+        (2.0 * 10 + 4.0 * 20) / 30)
+    assert gauge.high_water == 4.0
+    assert gauge.low_water == 0.0
+    assert gauge.time_at_level() == {2.0: 10.0, 4.0: 20.0}
+
+
+def test_gauge_mean_extends_tail_to_until():
+    gauge = Gauge("depth")
+    gauge.set(0, 10.0)
+    gauge.set(10, 0.0)
+    # 10 ns at level 10, then 30 ns at level 0.
+    assert gauge.time_weighted_mean(until=40) == pytest.approx(2.5)
+
+
+def test_gauge_rejects_time_travel():
+    gauge = Gauge("depth")
+    gauge.set(10, 1.0)
+    with pytest.raises(ValueError):
+        gauge.set(5, 2.0)
+
+
+def test_gauge_add_is_relative():
+    gauge = Gauge("depth")
+    gauge.add(0, 3.0)
+    gauge.add(5, -1.0)
+    assert gauge.last_value == 2.0
+
+
+def test_empty_gauge_is_benign():
+    gauge = Gauge("depth")
+    assert gauge.time_weighted_mean() == 0.0
+    assert gauge.to_dict()["high_water"] == 0.0
+
+
+# ------------------------------------------------- TimeWeightedHistogram
+
+def test_histogram_buckets_by_upper_bound():
+    hist = TimeWeightedHistogram(bounds=[1, 4])
+    hist.observe(0, 5.0)    # <= 1
+    hist.observe(1, 2.0)    # <= 1 (inclusive upper edge)
+    hist.observe(3, 7.0)    # <= 4
+    hist.observe(9, 1.0)    # overflow
+    assert hist.to_dict() == {"le_1": 7.0, "le_4": 7.0, "inf": 1.0}
+
+
+def test_histogram_from_gauge():
+    gauge = Gauge("depth")
+    gauge.set(0, 0.0)
+    gauge.set(10, 5.0)
+    gauge.set(15, 0.0)
+    hist = TimeWeightedHistogram.from_gauge(gauge, bounds=[2])
+    assert hist.to_dict() == {"le_2": 10.0, "inf": 5.0}
+
+
+def test_histogram_rejects_bad_input():
+    with pytest.raises(ValueError):
+        TimeWeightedHistogram(bounds=[])
+    hist = TimeWeightedHistogram(bounds=[1])
+    with pytest.raises(ValueError):
+        hist.observe(0, -1.0)
+
+
+# --------------------------------------------------------------- ValueStats
+
+def test_value_stats_summary():
+    stats = ValueStats()
+    for value in (3.0, 1.0, 2.0):
+        stats.observe(value)
+    assert stats.count == 3
+    assert stats.min == 1.0
+    assert stats.max == 3.0
+    assert stats.mean == pytest.approx(2.0)
+
+
+def test_empty_value_stats_to_dict():
+    assert ValueStats().to_dict() == {
+        "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+
+# ----------------------------------------------------------------- SpanList
+
+def test_span_list_coalesces_adjacent():
+    spans = SpanList("busy")
+    spans.add(0, 5)
+    spans.add(5, 10)    # touching -> merged
+    spans.add(20, 30)
+    assert spans.spans == [(0, 10), (20, 30)]
+    assert spans.busy_time() == 20
+    assert spans.count == 3
+
+
+def test_span_list_merges_out_of_order_overlap():
+    # Spans recorded at *end* time arrive out of start order when they
+    # overlap (two kernels on one GPU); the union must stay disjoint.
+    spans = SpanList("busy")
+    spans.add(10, 30)
+    spans.add(0, 15)
+    spans.add(40, 50)
+    spans.add(29, 41)
+    assert spans.spans == [(0, 50)]
+    assert spans.busy_time() == 50
+
+
+def test_span_list_rejects_negative_span():
+    spans = SpanList("busy")
+    with pytest.raises(ValueError):
+        spans.add(10, 5)
+
+
+def test_span_list_bounds():
+    spans = SpanList("busy")
+    assert spans.bounds() is None
+    spans.add(5, 8)
+    assert spans.bounds() == (5, 8)
+
+
+# ---------------------------------------------------------- MetricsRegistry
+
+def test_registry_scopes_are_keyed_and_reused():
+    registry = MetricsRegistry()
+    scope = registry.scope(0, "dma")
+    assert registry.scope(0, "dma") is scope
+    assert registry.get(1, "dma") is None
+    registry.scope(1, "dma").count("triggers", 2)
+    registry.scope(0, "dma").count("triggers")
+    assert registry.counter_total("dma", "triggers") == 3
+    assert registry.gpus() == [0, 1]
+    assert registry.components() == ["dma"]
+    assert len(registry) == 2
+
+
+def test_registry_end_time_spans_all_metric_kinds():
+    registry = MetricsRegistry()
+    registry.scope(0, "dma").gauge("depth").set(100, 1.0)
+    registry.scope(0, "link").span("wire", 50, 250)
+    registry.scope(0, "gemm").series("stage_end").record(300, 0)
+    assert registry.end_time() == 300
+
+
+def test_registry_snapshot_shape():
+    registry = MetricsRegistry()
+    scope = registry.scope(2, "tracker")
+    scope.count("regions_completed", 4)
+    scope.observe("trigger_latency_ns", 12.5)
+    scope.gauge("live_regions").set(0, 1)
+    snapshot = registry.snapshot()
+    assert snapshot["scopes"][0]["gpu"] == 2
+    assert snapshot["scopes"][0]["counters"] == {"regions_completed": 4.0}
+    assert snapshot["scopes"][0]["observations"][
+        "trigger_latency_ns"]["count"] == 1
+
+
+# -------------------------------------------------------- interval algebra
+
+def test_interval_merge_and_total():
+    merged = iv.merge([(5, 10), (0, 6), (20, 25)])
+    assert merged == [(0, 10), (20, 25)]
+    assert iv.total(merged) == 15
+
+
+def test_interval_intersect():
+    a = [(0, 10), (20, 30)]
+    b = [(5, 25)]
+    assert iv.intersect(a, b) == [(5, 10), (20, 25)]
+    assert iv.intersect(a, []) == []
+
+
+def test_interval_subtract():
+    a = [(0, 10), (20, 30)]
+    b = [(5, 25)]
+    assert iv.subtract(a, b) == [(0, 5), (25, 30)]
+    assert iv.subtract(a, []) == iv.merge(a)
+    assert iv.subtract([], a) == []
+
+
+def test_interval_clip():
+    spans = [(0, 10), (20, 30)]
+    assert iv.clip(spans, 5, 25) == [(5, 10), (20, 25)]
+    assert iv.clip(spans, 11, 19) == []
+
+
+def test_interval_partition_identity():
+    # hidden + exposed must exactly tile the comm intervals.
+    comm = [(0, 10), (15, 30)]
+    compute = [(5, 20)]
+    hidden = iv.intersect(comm, compute)
+    exposed = iv.subtract(comm, compute)
+    assert iv.total(hidden) + iv.total(exposed) == pytest.approx(
+        iv.total(comm))

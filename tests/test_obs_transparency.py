@@ -1,0 +1,112 @@
+"""Observational-transparency and fault-incidence telemetry tests.
+
+The registry's contract: attaching it changes *nothing* the simulator
+computes — results and event counts are bit-identical with telemetry on
+or off — while a populated registry reports what actually happened,
+including how many planned faults were observed firing."""
+
+import pytest
+
+from repro.config import table1_system
+from repro.experiments import sublayer_sweep
+from repro.faults import ComputeSlowdown, FaultInjector, FaultPlan
+from repro.models import zoo
+from repro.obs import MetricsRegistry
+
+SYSTEM = table1_system(n_gpus=4)
+SUB = zoo.t_nlg().sublayer("OP", 4)
+CONFIGS = ["Sequential", "T3-MCA"]
+
+
+def simulate(obs_sink=None, faults=None):
+    return sublayer_sweep.simulate_case(
+        SUB, sublayer_sweep.FAST_SCALE, SYSTEM, CONFIGS,
+        obs_sink=obs_sink, faults=faults)
+
+
+# ------------------------------------------------------------ transparency
+
+def test_results_identical_with_registry_attached():
+    plain = simulate()
+    sink = {}
+    observed = simulate(obs_sink=sink)
+    assert observed.times == plain.times
+    assert observed.traffic == plain.traffic
+    assert sorted(sink) == sorted(CONFIGS)
+
+
+def test_registries_populated_per_config():
+    sink = {}
+    simulate(obs_sink=sink)
+    mca = sink["T3-MCA"]
+    assert {"compute", "dma", "dram", "gemm", "link",
+            "tracker", "trigger"} <= set(mca.components())
+    # Fused run: the Tracker completed regions and the trigger fired DMAs.
+    assert mca.counter_total("tracker", "regions_completed") > 0
+    assert mca.counter_total("trigger", "dma_fires") > 0
+    # Sequential never programs the Tracker.
+    assert sink["Sequential"].counter_total(
+        "tracker", "regions_completed") == 0
+
+
+def test_arbiter_telemetry_present_for_mca():
+    sink = {}
+    simulate(obs_sink=sink)
+    arbiter = sink["T3-MCA"].scopes("arbiter")
+    assert arbiter, "MCA run recorded no arbiter scopes"
+    grants = sum(
+        value for scope in arbiter
+        for name, value in scope.counters.items()
+        if name.startswith("comm_grants.") or name == "compute_grants")
+    assert grants > 0
+
+
+# --------------------------------------------------- fault-incidence obs
+
+def test_observed_incidence_counts_straggler_windows():
+    plan = FaultPlan(seed=7, compute=(
+        ComputeSlowdown(gpu_id=1, factor=2.0),))
+    planned = plan.planned_incidence()
+    assert planned["straggler_windows"] == 1
+
+    sink = {}
+    result = simulate(obs_sink=sink, faults=plan)
+    assert result.times["Sequential"] > 0
+
+    # The injector in each simulated config saw the slowdown fire; its
+    # obs mirror puts the same counts in the per-GPU faults scope.
+    mca = sink["T3-MCA"]
+    fired = mca.counter_total("faults", "straggler_slowdowns")
+    assert fired > 0
+
+
+def test_injector_counts_mirror_into_registry():
+    plan = FaultPlan(compute=(ComputeSlowdown(gpu_id=0, factor=1.5),))
+    injector = FaultInjector(plan)
+    registry = MetricsRegistry()
+    injector.bind_obs(registry)
+    factor = injector.compute_factor(gpu_id=0, now=0.0)
+    assert factor == pytest.approx(1.5)
+    incidence = injector.observed_incidence()
+    assert incidence["straggler_slowdowns"] == 1
+    assert registry.counter_total("faults", "straggler_slowdowns") == 1
+    # Un-matched GPU: no fault, no count.
+    injector.compute_factor(gpu_id=3, now=0.0)
+    assert injector.observed_incidence()["straggler_slowdowns"] == 1
+
+
+def test_observed_incidence_without_registry():
+    plan = FaultPlan(compute=(ComputeSlowdown(factor=2.0),))
+    injector = FaultInjector(plan)
+    injector.compute_factor(gpu_id=0, now=0.0)
+    # Counts accumulate even when no registry is bound.
+    assert injector.observed_incidence() == {"straggler_slowdowns": 1}
+
+
+def test_empty_plan_observes_nothing():
+    injector = FaultInjector(FaultPlan())
+    injector.compute_factor(gpu_id=0, now=0.0)
+    assert injector.observed_incidence() == {}
+    assert FaultPlan().planned_incidence() == {
+        "straggler_windows": 0, "link_faults": 0,
+        "dma_fault_budget": 0, "tracker_pressure_rules": 0}

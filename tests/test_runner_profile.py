@@ -1,0 +1,90 @@
+"""CLI tests for the ``profile`` subcommand and ``--profile`` flag
+(repro.experiments.runner) plus the case-filter helper."""
+
+import json
+
+import pytest
+
+from repro.experiments import profile, runner
+from repro.models import zoo
+
+
+# ---------------------------------------------------------- filter_cases
+
+def test_filter_cases_ignores_case_and_punctuation():
+    cases = [zoo.megatron_gpt2().sublayer("FC-2", 8),
+             zoo.t_nlg().sublayer("OP", 8)]
+    selected = profile.filter_cases(cases, "fc2")
+    assert [sub.label for sub in selected] == [cases[0].label]
+    assert profile.filter_cases(cases, None) == cases
+
+
+def test_filter_cases_rejects_unmatched_filter():
+    cases = [zoo.t_nlg().sublayer("OP", 8)]
+    with pytest.raises(ValueError, match="matched none"):
+        profile.filter_cases(cases, "nope")
+
+
+# --------------------------------------------------------------- profile.run
+
+@pytest.fixture(scope="module")
+def small_report():
+    """One cheap TP=4 case through the real profiling pipeline."""
+    return profile.run(fast=True,
+                       cases=[zoo.t_nlg().sublayer("OP", 4)],
+                       configs=("Sequential", "T3-MCA"))
+
+
+def test_profile_run_produces_strict_hiding(small_report):
+    assert len(small_report.cases) == 1
+    case = small_report.cases[0]
+    assert case.hidden_ns("Sequential") == 0.0
+    assert case.hidden_ns("T3-MCA") > 0.0
+    assert small_report.check_strict_hiding("T3-MCA", "Sequential")
+
+
+def test_profile_run_totals_pinned_to_suite_times(small_report):
+    breakdown = small_report.cases[0].configs["T3-MCA"].breakdown
+    # total is the suite's GEMM+RS+AG time, which is longer than the
+    # profiled horizon of the fused portion alone.
+    assert breakdown.total_ns > 0
+    assert 0.0 <= breakdown.overlap_efficiency <= 1.0
+
+
+def test_write_report_round_trips(small_report, tmp_path):
+    path = profile.write_report(small_report, tmp_path / "overlap.json")
+    payload = json.loads(path.read_text())
+    assert payload["strict_hiding"]["T3-MCA"] is True
+    assert payload["cases"][0]["configs"]["T3-MCA"]["breakdown"][
+        "hidden_ns"] > 0
+
+
+# -------------------------------------------------------------- runner CLI
+
+def test_runner_rejects_bad_profile_target(capsys):
+    assert runner.main(["profile", "figure99"]) == 2
+    assert "profile target" in capsys.readouterr().err
+
+
+def test_runner_rejects_target_without_profile(capsys):
+    assert runner.main(["figure16", "figure16"]) == 2
+    assert "only valid with the 'profile' subcommand" in \
+        capsys.readouterr().err
+
+
+def test_runner_profile_subcommand_end_to_end(capsys, tmp_path, monkeypatch):
+    """`runner profile figure16 --config <one case>` renders the report
+    and writes the JSON dump.  Patch the sweep to its cheapest case so
+    the test stays fast."""
+    monkeypatch.setattr(
+        "repro.experiments.profile.default_cases",
+        lambda large=False: [zoo.t_nlg().sublayer("OP", 4)])
+    out = tmp_path / "overlap.json"
+    code = runner.main(["profile", "figure16", "--config", "tnlg",
+                        "--profile", str(out)])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "Overlap profile" in captured
+    assert "strictly more comm hidden" in captured
+    payload = json.loads(out.read_text())
+    assert payload["strict_hiding"]["T3-MCA"] is True

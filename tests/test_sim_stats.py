@@ -60,6 +60,52 @@ def test_time_series_binning_validation():
         ts.binned(5, start=10, end=5)
 
 
+def test_time_series_binning_window_end_sample_clamps_into_last_bin():
+    # A sample exactly at the window end falls outside every half-open
+    # [edge, edge+bin) bin; it must clamp into the final bin, not vanish.
+    ts = TimeSeries()
+    for t in range(11):  # 0..10 inclusive
+        ts.record(t, 1.0)
+    starts, sums = ts.binned(bin_ns=5)
+    assert starts == [0, 5]
+    assert sums == [5.0, 6.0]  # t=10 joins the [5, 10) bin
+    assert sum(sums) == len(ts)
+
+
+def test_time_series_binning_single_sample():
+    ts = TimeSeries()
+    ts.record(7.0, 3.0)
+    starts, sums = ts.binned(bin_ns=5)
+    assert starts == [7.0]
+    assert sums == [3.0]
+
+
+def test_time_series_binning_single_sample_with_start_override():
+    ts = TimeSeries()
+    ts.record(7.0, 3.0)
+    starts, sums = ts.binned(bin_ns=5, start=0)
+    assert starts == [0.0, 5.0]
+    assert sums == [0.0, 3.0]
+
+
+def test_time_series_binning_overrides_widen_the_window():
+    ts = TimeSeries()
+    for t in (0, 10, 20):
+        ts.record(t, 2.0)
+    starts, sums = ts.binned(bin_ns=10, start=0, end=40)
+    assert starts == [0, 10, 20, 30]
+    assert sums == [2.0, 2.0, 2.0, 0.0]
+
+
+def test_time_series_binning_window_excluding_all_samples():
+    ts = TimeSeries()
+    for t in (0, 10, 20):
+        ts.record(t, 2.0)
+    starts, sums = ts.binned(bin_ns=5, start=100, end=110)
+    assert starts == [100, 105]
+    assert sums == [0.0, 0.0]
+
+
 # ------------------------------------------------------------------- Counter
 
 def test_counter_accumulates():

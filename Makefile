@@ -1,14 +1,23 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test check smoke-cache smoke-faults smoke-obs bench profile \
+.PHONY: test lint check smoke-cache smoke-faults smoke-obs bench profile \
 	results clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Everything CI runs: the tier-1 suite plus the smoke tests.
-check: test smoke-cache smoke-faults smoke-obs
+# Lint gate (ruff, configured in pyproject.toml).  Skips gracefully when
+# ruff is not installed locally; CI always installs and enforces it.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests scripts benchmarks examples; \
+	else \
+		echo "ruff not installed (pip install -e '.[lint]'); skipping"; \
+	fi
+
+# Everything CI runs: the tier-1 suite plus lint and the smoke tests.
+check: test lint smoke-cache smoke-faults smoke-obs
 
 # Cache smoke test: figure16 twice; the second run must hit the persistent
 # sweep cache (zero simulations), be much faster, and render identically.

@@ -103,6 +103,39 @@ def ring_ag_time(nbytes_total: int, system: SystemConfig,
     return launch_overhead_ns + (n - 1) * step + system.link.latency_ns
 
 
+def all_to_all_time(nbytes_total: int, system: SystemConfig,
+                    launch_overhead_ns: float = DEFAULT_LAUNCH_OVERHEAD_NS,
+                    ) -> float:
+    """All-to-all personalized exchange on the ring substrate.
+
+    Each GPU keeps its own ``1/N`` shard and exchanges the remaining
+    ``(N-1)/N`` of its payload pairwise with every peer — unlike a ring
+    all-gather there is no forwarding, so the exchanged volume does not
+    scale with ``N-1`` steps.  Two limits bound the time:
+
+    * **injection**: a GPU serializes its ``(N-1)/N`` outgoing bytes onto
+      its links;
+    * **bisection**: pairwise shards crossing the ring cut share the two
+      bisection links.  ``cross_pairs = floor(N/2) * ceil(N/2)`` ordered
+      pairs cross in each direction, each carrying a ``1/N`` shard over
+      the ``2`` links of that cut direction.
+
+    DRAM pays one read and one write of the exchanged volume.
+    """
+    n = system.n_gpus
+    shard = _step_bytes(nbytes_total, n)  # validates payload / device count
+    exchanged = nbytes_total - shard      # (N-1)/N of the payload
+    inject = exchanged / system.link.bandwidth
+    cross_pairs = (n // 2) * ((n + 1) // 2)
+    bisection = cross_pairs * shard / (2.0 * system.link.bandwidth)
+    mem = 2.0 * exchanged / system.memory.effective_bandwidth
+    return (
+        launch_overhead_ns
+        + max(inject, bisection, mem)
+        + system.link.latency_ns
+    )
+
+
 def ring_ar_time(nbytes_total: int, system: SystemConfig,
                  n_cus: Optional[int] = None,
                  launch_overhead_ns: float = DEFAULT_LAUNCH_OVERHEAD_NS,
@@ -131,7 +164,6 @@ def collective_time(op: CollectiveOp, nbytes_total: int,
     if op is CollectiveOp.ALL_REDUCE:
         return ring_ar_time(nbytes_total, system, **kwargs)
     if op is CollectiveOp.ALL_TO_ALL:
-        # each GPU exchanges (N-1)/N of its payload pairwise; on a ring the
-        # bisection limits it like an all-gather of the same volume.
-        return ring_ag_time(nbytes_total, system, **kwargs)
+        kwargs.pop("n_cus", None)  # no CU reduction in a pure exchange
+        return all_to_all_time(nbytes_total, system, **kwargs)
     raise ValueError(f"unsupported collective {op}")

@@ -16,14 +16,15 @@ depends on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.collectives.plan import CollectivePlan, plan_for
 from repro.collectives.schedule import (
     chunk_sizes,
     ring_ag_schedule,
     ring_rs_schedule,
 )
-from repro.interconnect.topology import RingTopology
+from repro.interconnect.topology import RingTopology, Topology
 from repro.memory.request import AccessKind, Stream
 from repro.sim.engine import BaseEvent, Process
 from repro.sim.primitives import Resource
@@ -209,6 +210,111 @@ class RingAllGather(_RingCollectiveBase):
                 read_factor=1, cu_factor=2,
                 reduce_unit=copy_unit, cu_bw=cu_bw,
                 chunk_id=ring_step.send_chunk)
+        self.result.per_rank_end[rank] = env.now
+
+
+class PlannedReduceScatter(_RingCollectiveBase):
+    """CU-driven reduce-scatter executing an arbitrary
+    :class:`~repro.collectives.plan.CollectivePlan`.
+
+    Where :class:`RingReduceScatter` is hard-wired to the flat single-ring
+    schedule, this executor walks the plan's per-rank step lists —
+    including the hierarchical two-phase (intra-node ring, then
+    per-position inter-node rings) plan — with the same quantum-pipelined
+    read/reduce/link/write cost model.  On a flat ring plan it reproduces
+    :class:`RingReduceScatter`'s behaviour; it exists so the scale-out
+    experiments have an apples-to-apples Sequential baseline on any
+    topology.
+    """
+
+    label = "rs"
+
+    def __init__(self, topology: Topology, nbytes_total: int,
+                 plan: Optional[CollectivePlan] = None,
+                 n_cus: Optional[int] = None,
+                 launch_overhead_ns: float = 2_000.0):
+        if plan is None:
+            plan = plan_for(topology, "ring-rs")
+        if plan.n_ranks != topology.n_gpus:
+            raise ValueError(
+                f"plan covers {plan.n_ranks} ranks but the topology has "
+                f"{topology.n_gpus}")
+        self.topo = topology
+        self.env = topology.env
+        self.system = topology.system
+        self.nbytes_total = nbytes_total
+        self.n_cus = n_cus
+        self.launch_overhead_ns = launch_overhead_ns
+        self.plan = plan
+        self.chunks = chunk_sizes(nbytes_total, plan.n_chunks)
+        #: arrival[(rank, stage, step, chunk)] fires when that chunk's
+        #: contribution has fully landed in ``rank``'s DRAM.
+        self._arrivals: Dict[Tuple[int, str, int, int], BaseEvent] = {}
+        for rank in range(plan.n_ranks):
+            for step in plan.steps(rank):
+                for cid in step.recv_chunks:
+                    self._arrivals[(rank, step.stage, step.step, cid)] = \
+                        BaseEvent(self.env)
+        self.result = CollectiveResult()
+
+    def _send_group(self, rank: int, dst_rank: int, stage: str, step: int,
+                    chunk_ids: Tuple[int, ...], read_factor: int,
+                    reduce_unit: Resource, cu_bw: float):
+        procs: List[Process] = []
+        for cid in chunk_ids:
+            for q in self._quanta(self.chunks[cid]):
+                procs.append(self.env.process(
+                    self._quantum_proc(
+                        rank, dst_rank, q, read_factor * q,
+                        (read_factor + 1) * q, reduce_unit, cu_bw,
+                        chunk_id=cid),
+                    name=f"{self.label}.r{rank}.{stage}{step}.q",
+                ))
+        yield self.env.all_of(procs)
+        for cid in chunk_ids:
+            self._arrivals[(dst_rank, stage, step, cid)].succeed()
+
+    def _rank_proc(self, rank: int):
+        env = self.env
+        gpu = self.topo.gpus[rank]
+        rank_plan = self.plan.rank_plan(rank)
+        yield env.timeout(self.launch_overhead_ns)
+        reduce_unit = Resource(env, 1, name=f"rs.cu.{rank}")
+        cu_bw = self._cu_bandwidth()
+
+        #: copies held per chunk (1 local + received partials): paces the
+        #: read/reduce cost of each forward, as in Figure 10a.
+        copies = {cid: 1 for cid in range(self.plan.n_chunks)}
+        pending: Dict[int, List[BaseEvent]] = {}
+        for step in rank_plan.steps:
+            if step.send_chunks:
+                deps = [ev for cid in step.send_chunks
+                        for ev in pending.pop(cid, [])]
+                if deps:
+                    yield env.all_of(deps)
+                read_factor = copies[step.send_chunks[0]]
+                yield from self._send_group(
+                    rank, step.dst, step.stage, step.step, step.send_chunks,
+                    read_factor, reduce_unit, cu_bw)
+            for cid in step.recv_chunks:
+                pending.setdefault(cid, []).append(
+                    self._arrivals[(rank, step.stage, step.step, cid)])
+                copies[cid] += 1
+
+        # Final local reduction of any chunk that terminates here.
+        for cid in rank_plan.terminal_chunks():
+            deps = pending.pop(cid, [])
+            if deps:
+                yield env.all_of(deps)
+            own = self.chunks[cid]
+            held = copies[cid]
+            reads = gpu.mc.submit_bulk(
+                AccessKind.READ, Stream.COMPUTE, held * own, self.label)
+            yield env.all_of(reads)
+            yield from reduce_unit.acquire(hold=(held + 1) * own / cu_bw)
+            writes = gpu.mc.submit_bulk(
+                AccessKind.WRITE, Stream.COMPUTE, own, self.label)
+            yield env.all_of(writes)
         self.result.per_rank_end[rank] = env.now
 
 

@@ -1,4 +1,4 @@
-"""Chunk schedules for ring and direct collectives.
+"""Chunk schedules for ring and direct collectives — views over plans.
 
 Chunks are labelled by their **final owner**: chunk ``e`` of a
 reduce-scatter ends fully reduced on device ``e``.  With the paper's ring
@@ -13,6 +13,10 @@ The same labelling gives the staggered GEMM production order
 (:meth:`repro.gpu.wavefront.TileGrid.chunk_order`): device ``d`` must
 produce chunk ``(d+s) mod N`` before step ``s``, i.e. chunks
 ``d+1, d+2, ..., d`` in order.
+
+The arithmetic itself lives in one place —
+:mod:`repro.collectives.plan` — and these helpers are thin per-rank
+views of the corresponding :class:`~repro.collectives.plan.CollectivePlan`.
 """
 
 from __future__ import annotations
@@ -20,6 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from repro.collectives.plan import (
+    all_to_all_plan,
+    direct_rs_plan,
+    ring_all_gather_plan,
+    ring_reduce_scatter_plan,
+)
 from repro.gpu.wavefront import split_evenly
 
 
@@ -36,12 +46,9 @@ def ring_rs_schedule(n_gpus: int, rank: int) -> List[RingStep]:
     """Reduce-scatter steps for ``rank`` (N-1 steps)."""
     _validate(n_gpus, rank)
     return [
-        RingStep(
-            step=s,
-            send_chunk=(rank + s) % n_gpus,
-            recv_chunk=(rank + s + 1) % n_gpus,
-        )
-        for s in range(1, n_gpus)
+        RingStep(step=s.step, send_chunk=s.send_chunks[0],
+                 recv_chunk=s.recv_chunks[0])
+        for s in ring_reduce_scatter_plan(n_gpus).steps(rank)
     ]
 
 
@@ -49,21 +56,19 @@ def ring_ag_schedule(n_gpus: int, rank: int) -> List[RingStep]:
     """All-gather steps for ``rank``: forward the newest chunk each step."""
     _validate(n_gpus, rank)
     return [
-        RingStep(
-            step=s,
-            send_chunk=(rank + s - 1) % n_gpus,
-            recv_chunk=(rank + s) % n_gpus,
-        )
-        for s in range(1, n_gpus)
+        RingStep(step=s.step, send_chunk=s.send_chunks[0],
+                 recv_chunk=s.recv_chunks[0])
+        for s in ring_all_gather_plan(n_gpus).steps(rank)
     ]
 
 
 def all_to_all_schedule(n_gpus: int, rank: int) -> List[Tuple[int, int]]:
     """(peer, chunk) pairs: rank sends chunk ``peer`` to each peer."""
     _validate(n_gpus, rank)
-    return [
-        (peer, peer) for peer in range(n_gpus) if peer != rank
-    ]
+    return sorted(
+        (s.dst, s.send_chunks[0])
+        for s in all_to_all_plan(n_gpus).steps(rank)
+    )
 
 
 def direct_rs_peers(n_gpus: int, rank: int) -> List[Tuple[int, int]]:
@@ -71,9 +76,10 @@ def direct_rs_peers(n_gpus: int, rank: int) -> List[Tuple[int, int]]:
     stage's output is sliced and each slice ``remote_map``-ed straight to
     its final owner.  Returns (destination, chunk) pairs."""
     _validate(n_gpus, rank)
-    return [
-        (dest, dest) for dest in range(n_gpus) if dest != rank
-    ]
+    return sorted(
+        (s.dst, s.send_chunks[0])
+        for s in direct_rs_plan(n_gpus).steps(rank)
+    )
 
 
 def chunk_sizes(nbytes_total: int, n_gpus: int) -> List[int]:

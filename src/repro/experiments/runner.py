@@ -26,7 +26,7 @@ from typing import Callable, Dict
 from repro.experiments import (
     dp_overlap, extensions, fault_sweep, figure4, figure6, figure15,
     figure16, figure17, figure18, figure19, figure20, profile,
-    related_work, sublayer_sweep, tables, validation,
+    related_work, scaleout, sublayer_sweep, tables, validation,
 )
 
 EXPERIMENTS: Dict[str, Callable] = {
@@ -50,6 +50,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "consumer-fusion": extensions.run_consumer_fusion,
     "in-switch": related_work.run,
     "dp-overlap": dp_overlap.run,
+    "scaleout": scaleout.run,
     # Robustness study: speedup degradation under injected faults.
     "fault-sweep": fault_sweep.run,
 }

@@ -1,0 +1,181 @@
+"""Scale-out study: fused T3 across nodes (Section 7.8).
+
+The paper's evaluation keeps tensor parallelism inside one node; its
+Section 7.8 discussion argues the mechanism generalizes to multi-node
+TP where the inter-node hops are the expensive part.  With the
+:class:`~repro.collectives.plan.CollectivePlan` layer this is now
+runnable: on a :class:`~repro.interconnect.topology.HierarchicalRingTopology`
+the fused GEMM-RS programs itself from the two-phase hierarchical plan
+(intra-node rings, then per-position inter-node rail rings) and the same
+Tracker/Trigger/DMA machinery reduces across nodes.
+
+The experiment compares, for the same 8-GPU sub-layer GEMM:
+
+* **1 node x 8 GPUs** — the paper's single-node setup (flat ring plan);
+* **2 nodes x 4 GPUs** — the same 8 ranks split over two nodes joined by
+  slow links (plan stages ``intra`` + ``inter``).
+
+Per case, **Sequential** is the co-simulated GEMM followed by the
+plan-driven CU reduce-scatter
+(:class:`~repro.collectives.baseline.PlannedReduceScatter` — apples to
+apples, it walks the same plan); **T3-MCA** is the fused run.  The
+hierarchical T3-MCA run reports per-plan-stage overlap attribution:
+intra-node communication hides under the GEMM while the inter-node rail
+phase — serialized after each chunk's intra reduction — is where the
+remaining exposure concentrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.collectives.baseline import PlannedReduceScatter
+from repro.config import SystemConfig, table1_system
+from repro.experiments.common import scaled_shape
+from repro.faults import InvariantChecker
+from repro.gpu.gemm import GEMMKernel
+from repro.gpu.wavefront import GEMMShape, TileGrid
+from repro.interconnect.topology import (
+    HierarchicalRingTopology,
+    RingTopology,
+    Topology,
+)
+from repro.memory.cache import estimate_gemm_traffic
+from repro.models import zoo
+from repro.obs import MetricsRegistry
+from repro.obs.profiler import PlanStageSpan, attribute_plan_stages
+from repro.sim import Environment
+from repro.t3.fusion import FusedGEMMRS
+
+
+@dataclass
+class ScaleoutRow:
+    """One topology case of the scale-out comparison."""
+
+    label: str
+    n_nodes: int
+    gpus_per_node: int
+    sequential_us: float
+    t3_mca_us: float
+    #: plan phases of the fused run, in plan order.
+    stage_names: List[str] = field(default_factory=list)
+    #: per-phase overlap attribution of the T3-MCA run.
+    plan_stages: List[PlanStageSpan] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_us / self.t3_mca_us
+
+
+@dataclass
+class ScaleoutResult:
+    """The rendered scale-out study."""
+
+    case_label: str
+    rows: List[ScaleoutRow]
+
+    def row(self, label: str) -> ScaleoutRow:
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(label)
+
+    def render(self) -> str:
+        lines = [
+            "Section 7.8 — scale-out: fused T3 across nodes "
+            f"({self.case_label})",
+            f"{'case':18} {'Sequential':>11} {'T3-MCA':>9} {'speedup':>8} "
+            f"{'plan':>12}",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.label:18} {r.sequential_us:>9.1f}us "
+                f"{r.t3_mca_us:>7.1f}us {r.speedup:>8.3f} "
+                f"{'+'.join(r.stage_names):>12}")
+        for r in self.rows:
+            if not r.plan_stages:
+                continue
+            lines.append("")
+            lines.append(f"Plan-stage attribution ({r.label}, T3-MCA):")
+            for span in r.plan_stages:
+                hidden_pct = (100.0 * span.hidden_ns / span.comm_ns
+                              if span.comm_ns else 0.0)
+                lines.append(
+                    f"  {span.stage:>6}: comm={span.comm_ns / 1e3:>7.1f}us  "
+                    f"hidden={span.hidden_ns / 1e3:>7.1f}us  "
+                    f"exposed={span.exposed_ns / 1e3:>7.1f}us  "
+                    f"({hidden_pct:.0f}% hidden)")
+        return "\n".join(lines)
+
+
+def _make_topology(env: Environment, system: SystemConfig,
+                   gpus_per_node: int, policy: str) -> Topology:
+    if gpus_per_node == system.n_gpus:
+        return RingTopology(env, system, policy_name=policy)
+    return HierarchicalRingTopology(env, system,
+                                    gpus_per_node=gpus_per_node,
+                                    policy_name=policy)
+
+
+def _run_sequential(system: SystemConfig, shape: GEMMShape,
+                    gpus_per_node: int) -> float:
+    """Co-simulated GEMM on every rank, then the plan-driven CU RS."""
+    env = Environment()
+    env.invariants = InvariantChecker(env)
+    topo = _make_topology(env, system, gpus_per_node, "compute-priority")
+    kernels = []
+    for gpu in topo.gpus:
+        grid = TileGrid(shape, system.gemm, n_cus=system.compute.n_cus)
+        traffic = estimate_gemm_traffic(grid, system.memory,
+                                        bypass_writes=False)
+        kernels.append(GEMMKernel(grid, traffic))
+    procs = [gpu.launch(k) for gpu, k in zip(topo.gpus, kernels)]
+    env.run()
+    if any(not p.fired for p in procs):
+        raise RuntimeError("scaleout sequential GEMM never finished\n"
+                           + env.diagnostic_dump())
+    gemm_time = max(k.result.duration for k in kernels)
+    rs = PlannedReduceScatter(topo, nbytes_total=shape.output_bytes)
+    rs_time = rs.run().duration
+    env.invariants.check_all()
+    return gemm_time + rs_time
+
+
+def _run_fused(system: SystemConfig, shape: GEMMShape, gpus_per_node: int,
+               registry: Optional[MetricsRegistry] = None):
+    env = Environment()
+    if registry is not None:
+        env.obs = registry
+    env.invariants = InvariantChecker(env)
+    topo = _make_topology(env, system, gpus_per_node, "mca")
+    fused = FusedGEMMRS(topo, shape, calibrate_mca=True)
+    result = fused.run()
+    env.invariants.check_all()
+    return fused, result.duration
+
+
+def run(fast: bool = True) -> ScaleoutResult:
+    """Compare single-node vs two-node fused T3 on one sub-layer GEMM."""
+    scale = 16 if fast else 1
+    sub = zoo.t_nlg().sublayer("FC-2", 8)
+    shape = scaled_shape(sub.gemm, scale)
+    system = table1_system(n_gpus=8)
+    cases = (
+        ("1 node x 8 GPUs", 1, 8),
+        ("2 nodes x 4 GPUs", 2, 4),
+    )
+    rows: List[ScaleoutRow] = []
+    for label, n_nodes, per in cases:
+        sequential = _run_sequential(system, shape, per)
+        registry = MetricsRegistry()
+        fused, fused_time = _run_fused(system, shape, per, registry)
+        rows.append(ScaleoutRow(
+            label=label, n_nodes=n_nodes, gpus_per_node=per,
+            sequential_us=sequential / 1e3,
+            t3_mca_us=fused_time / 1e3,
+            stage_names=list(fused.plan.stage_names),
+            plan_stages=attribute_plan_stages(
+                registry, stage_order=list(fused.plan.stage_names)),
+        ))
+    return ScaleoutResult(case_label=f"{sub.label}, fast={fast}", rows=rows)

@@ -19,7 +19,7 @@ overlaps the local reads and remote writes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.memory.request import AccessKind, Stream
@@ -45,6 +45,10 @@ class DMACommand:
     label: str = "rs"
     #: whether the engine must read the source data from local DRAM first.
     read_source: bool = True
+    #: plan stage this transfer belongs to ("intra"/"inter"/"ring"); when
+    #: set, the engine records a ``stage.<name>`` span for the profiler's
+    #: per-plan-stage attribution.
+    stage: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.op not in (AccessKind.WRITE, AccessKind.UPDATE):
@@ -165,6 +169,8 @@ class DMAEngine:
             scope.count("completions")
             scope.observe("transfer_ns", self.env.now - start)
             scope.span("transfer", start, self.env.now)
+            if command.stage is not None:
+                scope.span(f"stage.{command.stage}", start, self.env.now)
             scope.gauge("inflight_commands").set(
                 self.env.now, self.inflight_commands)
             scope.gauge("inflight_bytes").set(

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro import units
 from repro.config import GEMMKernelConfig
@@ -150,11 +150,17 @@ class TileGrid:
     stagger:
         set False to disable staggering (ablation): every device then
         produces chunk 0 first.
+    production_order:
+        explicit chunk production order (a permutation of
+        ``range(n_chunks)``), normally taken from a
+        :class:`~repro.collectives.plan.CollectivePlan`; when omitted the
+        grid derives the flat-ring staggered order from ``chunk_offset``.
     """
 
     def __init__(self, shape: GEMMShape, kernel: GEMMKernelConfig,
                  n_cus: int, n_chunks: int = 1, chunk_offset: int = 0,
-                 stagger: bool = True):
+                 stagger: bool = True,
+                 production_order: Optional[List[int]] = None):
         if n_cus < 1:
             raise ValueError("need at least one CU")
         if n_chunks < 1:
@@ -165,6 +171,15 @@ class TileGrid:
         self.n_chunks = n_chunks
         self.chunk_offset = chunk_offset if stagger else 0
         self.stagger = stagger
+        if production_order is not None:
+            order = list(production_order)
+            if sorted(order) != list(range(n_chunks)):
+                raise ValueError(
+                    f"production_order {order} is not a permutation of "
+                    f"range({n_chunks})")
+            self._production_order: Optional[List[int]] = order
+        else:
+            self._production_order = None
 
         self.tiles_m = math.ceil(shape.m / kernel.macro_tile_m)
         self.tiles_n = math.ceil(shape.n / kernel.macro_tile_n)
@@ -210,14 +225,14 @@ class TileGrid:
 
     def chunk_order(self) -> List[int]:
         """Chunks in this device's production order (Section 4.4)."""
+        if self._production_order is not None:
+            return list(self._production_order)
         if not self.stagger or self.n_chunks == 1:
             return list(range(self.n_chunks))
-        order = [
-            (self.chunk_offset + 1 + i) % self.n_chunks
-            for i in range(self.n_chunks - 1)
-        ]
-        order.append(self.chunk_offset % self.n_chunks)
-        return order
+        # Import at call time: the plan module imports ``split_evenly``
+        # from here at module scope.
+        from repro.collectives.plan import ring_production_order
+        return ring_production_order(self.n_chunks, self.chunk_offset)
 
     # -- WG enumeration ----------------------------------------------------
 

@@ -106,6 +106,14 @@ class HierarchicalRingTopology(RingTopology):
     hops simply pace the affected steps, exposing the paper's
     "communication costs can be much larger than GEMM execution"
     inter-node regime.
+
+    Beyond the flat ring, the topology wires **rail links**: for each
+    intra-node position ``g``, GPU ``(k, g)`` connects to ``(k±1, g)`` on
+    the neighbouring nodes.  These per-position inter-node rings carry
+    the ``inter`` phase of the hierarchical collective plan
+    (:func:`repro.collectives.plan.hierarchical_rs_plan`), which is what
+    lets fused T3 reduce across nodes.  Rail links cross nodes, so they
+    get the slow inter-node parameters automatically.
     """
 
     def __init__(self, env: Environment, system: SystemConfig,
@@ -123,8 +131,38 @@ class HierarchicalRingTopology(RingTopology):
         self.inter_node_extra_latency_ns = inter_node_extra_latency_ns
         super().__init__(env, system, policy_name=policy_name)
 
+    @property
+    def n_nodes(self) -> int:
+        return self.system.n_gpus // self.gpus_per_node
+
     def node_of(self, rank: int) -> int:
         return rank % self.system.n_gpus // self.gpus_per_node
+
+    def edges(self) -> List[Tuple[int, int]]:
+        base = super().edges()
+        per = self.gpus_per_node
+        if self.n_nodes <= 1 or per <= 1:
+            return base  # the flat ring already is the node ring
+        seen = set(base)
+        extra: List[Tuple[int, int]] = []
+
+        def add(src: int, dst: int) -> None:
+            if dst != src and (src, dst) not in seen:
+                seen.add((src, dst))
+                extra.append((src, dst))
+
+        for k in range(self.n_nodes):
+            # Close each node's ring: the flat ring supplies the in-node
+            # hops, but position 0 <-> position per-1 wraps through the
+            # next node — the intra phase needs the direct link.
+            add(k * per, k * per + per - 1)
+            add(k * per + per - 1, k * per)
+        for g in range(per):
+            for k in range(self.n_nodes):
+                src = k * per + g
+                for dk in (-1, 1):
+                    add(src, ((k + dk) % self.n_nodes) * per + g)
+        return base + extra
 
     def is_inter_node(self, src: int, dst: int) -> bool:
         return self.node_of(src) != self.node_of(dst)

@@ -179,18 +179,83 @@ def attribute_stages(registry: MetricsRegistry) -> List[StageAttribution]:
 
 
 @dataclass
+class PlanStageSpan:
+    """Overlap decomposition of one collective-plan phase ("intra",
+    "inter" or "ring"): the union of DMA transfers tagged with that stage
+    by the :class:`~repro.gpu.dma.DMAEngine`."""
+
+    stage: str
+    comm_ns: float
+    hidden_ns: float
+    exposed_ns: float
+    start_ns: float
+    end_ns: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "stage": self.stage,
+            "comm_ns": self.comm_ns,
+            "hidden_ns": self.hidden_ns,
+            "exposed_ns": self.exposed_ns,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+        }
+
+
+def attribute_plan_stages(registry: MetricsRegistry,
+                          stage_order: Optional[List[str]] = None,
+                          ) -> List[PlanStageSpan]:
+    """Per-plan-phase overlap attribution.
+
+    DMA transfers record a ``stage.<name>`` span per command (the plan
+    phase the route belongs to); this collects them machine-wide and
+    splits each phase's activity into hidden (under compute) and exposed
+    time.  ``stage_order`` pins the output order (e.g. the plan's
+    ``stage_names``); otherwise phases appear in first-activity order.
+    """
+    per_stage: Dict[str, List[iv.Interval]] = {}
+    for scope in registry.scopes("dma"):
+        for name in scope.span_names():
+            if not name.startswith("stage."):
+                continue
+            stage = name[len("stage."):]
+            per_stage.setdefault(stage, []).extend(scope.spans(name).spans)
+    if not per_stage:
+        return []
+    compute = compute_spans(registry)
+    names = [s for s in (stage_order or []) if s in per_stage]
+    names += sorted((s for s in per_stage if s not in names),
+                    key=lambda s: min(start for start, _ in per_stage[s]))
+    result: List[PlanStageSpan] = []
+    for stage in names:
+        spans = iv.merge(per_stage[stage])
+        hidden = iv.intersect(spans, compute)
+        result.append(PlanStageSpan(
+            stage=stage,
+            comm_ns=iv.total(spans),
+            hidden_ns=iv.total(hidden),
+            exposed_ns=iv.total(spans) - iv.total(hidden),
+            start_ns=spans[0][0],
+            end_ns=spans[-1][1],
+        ))
+    return result
+
+
+@dataclass
 class ConfigProfile:
     """One (case, configuration) profile."""
 
     config: str
     breakdown: OverlapBreakdown
     stages: List[StageAttribution] = field(default_factory=list)
+    plan_stages: List[PlanStageSpan] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "config": self.config,
             "breakdown": self.breakdown.to_dict(),
             "stages": [stage.to_dict() for stage in self.stages],
+            "plan_stages": [span.to_dict() for span in self.plan_stages],
         }
 
 
@@ -230,6 +295,7 @@ def profile_case(label: str,
             config=config,
             breakdown=decompose(registry, total_ns=total),
             stages=attribute_stages(registry),
+            plan_stages=attribute_plan_stages(registry),
         )
     return case
 

@@ -13,67 +13,41 @@ space* points.  A :class:`AddressSpaceConfig` holds one
 * ``LOCAL_TERMINAL`` — the device's own chunk: tracked like LOCAL_UPDATE
   but with no DMA — its completion *is* the reduce-scatter result.
 
-Constructors encode the collective patterns: ring reduce-scatter
-(Figure 11/12), direct reduce-scatter on a fully-connected node and ring
-all-gather (Section 7.1).
+The route table itself is computed by one collective program — a
+:class:`~repro.collectives.plan.CollectivePlan` — and *compiled* into a
+per-rank config here (:meth:`AddressSpaceConfig.from_plan`).  The named
+constructors (ring reduce-scatter of Figure 11/12, direct-RS and
+all-to-all of Section 7.1/7.2) are thin wrappers over the matching plan
+builders; :class:`RouteKind` / :class:`ChunkRoute` are defined in the
+plan module and re-exported for compatibility.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-
-class RouteKind(enum.Enum):
-    REMOTE_UPDATE = "remote_update"   # remote_map: store-over-link
-    LOCAL_UPDATE = "local_update"     # dma_map: local NMC + triggered DMA
-    LOCAL_TERMINAL = "local_terminal"  # own chunk, no DMA
-
-
-@dataclass(frozen=True)
-class ChunkRoute:
-    """Where one output chunk of this device's GEMM goes."""
-
-    chunk_id: int
-    kind: RouteKind
-    #: destination GPU for REMOTE_UPDATE (immediate) or LOCAL_UPDATE (DMA).
-    dst_gpu: Optional[int] = None
-    #: total whole-chunk update contributions this device's copy expects
-    #: before its DMA/terminal trigger (ring-RS: 2, Section 4.2.1).
-    expected_updates: int = 1
-    #: whether stores reduce in memory ("update", reduction collectives)
-    #: or overwrite ("store", data-exchange collectives like all-to-all).
-    op: str = "update"
-
-    def __post_init__(self) -> None:
-        needs_dst = self.kind in (RouteKind.REMOTE_UPDATE,
-                                  RouteKind.LOCAL_UPDATE)
-        if needs_dst and self.dst_gpu is None:
-            raise ValueError(f"{self.kind} route needs a destination GPU")
-        if self.kind is RouteKind.LOCAL_TERMINAL and self.dst_gpu is not None:
-            raise ValueError("terminal chunks stay local")
-        if self.expected_updates < 1:
-            raise ValueError("expected_updates must be >= 1")
-        if self.op not in ("update", "store"):
-            raise ValueError("route op must be 'update' or 'store'")
-
-    @property
-    def dma_command_id(self) -> Optional[str]:
-        if self.kind is RouteKind.LOCAL_UPDATE:
-            return f"dma.chunk{self.chunk_id}"
-        return None
+from repro.collectives.plan import (  # noqa: F401  (re-exported API)
+    ChunkRoute,
+    CollectivePlan,
+    RouteKind,
+    all_to_all_plan,
+    direct_rs_plan,
+    ring_reduce_scatter_plan,
+)
 
 
 class AddressSpaceConfig:
     """All chunk routes for one device in one fused collective."""
 
     def __init__(self, rank: int, n_gpus: int,
-                 routes: Dict[int, ChunkRoute], collective: str):
-        if set(routes) != set(range(n_gpus)) and collective != "all-gather":
+                 routes: Dict[int, ChunkRoute], collective: str,
+                 n_chunks: Optional[int] = None):
+        chunks = n_gpus if n_chunks is None else n_chunks
+        if set(routes) != set(range(chunks)) and collective != "all-gather":
             raise ValueError("every chunk needs a route")
         self.rank = rank
         self.n_gpus = n_gpus
+        self.n_chunks = chunks
         self.routes = routes
         self.collective = collective
 
@@ -102,6 +76,12 @@ class AddressSpaceConfig:
     # -- constructors -------------------------------------------------------------
 
     @classmethod
+    def from_plan(cls, plan: CollectivePlan, rank: int) -> "AddressSpaceConfig":
+        """Compile one rank's routes out of a collective plan."""
+        return cls(rank, plan.n_ranks, dict(plan.routes(rank)),
+                   collective=plan.collective, n_chunks=plan.n_chunks)
+
+    @classmethod
     def ring_reduce_scatter(cls, rank: int, n_gpus: int,
                             split_k: int = 1) -> "AddressSpaceConfig":
         """Figure 11/12: the ring-RS configuration for ``rank``.
@@ -120,27 +100,8 @@ class AddressSpaceConfig:
         """
         if n_gpus < 2:
             raise ValueError("ring-RS needs at least 2 GPUs")
-        if split_k < 1:
-            raise ValueError("split_k must be >= 1")
-        downstream = (rank - 1) % n_gpus
-        remote_fed = (rank + 2) % n_gpus  # receives upstream's remote_map
-        routes: Dict[int, ChunkRoute] = {}
-        first = (rank + 1) % n_gpus
-        routes[first] = ChunkRoute(first, RouteKind.REMOTE_UPDATE,
-                                   dst_gpu=downstream)
-
-        def expected_for(cid: int) -> int:
-            incoming = split_k if cid == remote_fed else 1
-            return split_k + incoming
-
-        for offset in range(2, n_gpus):
-            cid = (rank + offset) % n_gpus
-            routes[cid] = ChunkRoute(cid, RouteKind.LOCAL_UPDATE,
-                                     dst_gpu=downstream,
-                                     expected_updates=expected_for(cid))
-        routes[rank] = ChunkRoute(rank, RouteKind.LOCAL_TERMINAL,
-                                  expected_updates=expected_for(rank))
-        return cls(rank, n_gpus, routes, collective="ring-rs")
+        return cls.from_plan(
+            ring_reduce_scatter_plan(n_gpus, split_k=split_k), rank)
 
     @classmethod
     def all_to_all(cls, rank: int, n_gpus: int) -> "AddressSpaceConfig":
@@ -149,31 +110,11 @@ class AddressSpaceConfig:
         Chunk ``c`` of the producer's output belongs to device ``c``; it is
         remote-mapped there as a plain *store* (no reduction) and the
         device's own chunk is written locally once."""
-        if n_gpus < 2:
-            raise ValueError("all-to-all needs at least 2 GPUs")
-        routes: Dict[int, ChunkRoute] = {}
-        for cid in range(n_gpus):
-            if cid == rank:
-                routes[cid] = ChunkRoute(cid, RouteKind.LOCAL_TERMINAL,
-                                         expected_updates=1, op="store")
-            else:
-                routes[cid] = ChunkRoute(cid, RouteKind.REMOTE_UPDATE,
-                                         dst_gpu=cid, op="store")
-        return cls(rank, n_gpus, routes, collective="all-to-all")
+        return cls.from_plan(all_to_all_plan(n_gpus), rank)
 
     @classmethod
     def direct_reduce_scatter(cls, rank: int, n_gpus: int) -> "AddressSpaceConfig":
         """Section 7.1: fully-connected direct-RS — every foreign chunk is
         remote-mapped straight to its final owner; the collective needs no
         DMA and no local traffic for foreign chunks at all."""
-        if n_gpus < 2:
-            raise ValueError("direct-RS needs at least 2 GPUs")
-        routes: Dict[int, ChunkRoute] = {}
-        for cid in range(n_gpus):
-            if cid == rank:
-                routes[cid] = ChunkRoute(cid, RouteKind.LOCAL_TERMINAL,
-                                         expected_updates=n_gpus)
-            else:
-                routes[cid] = ChunkRoute(cid, RouteKind.REMOTE_UPDATE,
-                                         dst_gpu=cid)
-        return cls(rank, n_gpus, routes, collective="direct-rs")
+        return cls.from_plan(direct_rs_plan(n_gpus), rank)

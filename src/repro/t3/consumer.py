@@ -22,9 +22,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.collectives.baseline import RingAllGather
+from repro.collectives.plan import ring_all_gather_plan
 from repro.gpu.gemm import GEMMKernel, GEMMResult
 from repro.gpu.wavefront import GEMMShape, TileGrid
-from repro.interconnect.topology import RingTopology
+from repro.interconnect.topology import Topology
 from repro.memory.cache import estimate_gemm_traffic
 from repro.sim.engine import BaseEvent
 from repro.t3.tracker import Tracker
@@ -49,7 +50,7 @@ class ConsumerFusionResult:
 class FusedAGConsumerGEMM:
     """Ring all-gather overlapped with its consumer GEMM on every rank."""
 
-    def __init__(self, topology: RingTopology, shape: GEMMShape,
+    def __init__(self, topology: Topology, shape: GEMMShape,
                  n_cus: Optional[int] = None):
         self.topo = topology
         self.env = topology.env
@@ -58,12 +59,13 @@ class FusedAGConsumerGEMM:
         self.n_cus = n_cus or self.system.compute.n_cus
         n = self.system.n_gpus
 
-        # Consumer grids: chunk production order == arrival order
-        # (own chunk, then rank+1, rank+2, ...).  TileGrid's staggered
-        # order with offset rank-1 yields exactly that.
+        # Consumer grids: chunk production order == the all-gather plan's
+        # arrival order (own chunk, then upstream chunks as they land).
+        ag_plan = ring_all_gather_plan(n)
         self.grids: List[TileGrid] = [
             TileGrid(shape, self.system.gemm, n_cus=self.n_cus,
-                     n_chunks=n, chunk_offset=(rank - 1) % n, stagger=True)
+                     n_chunks=n, chunk_offset=(rank - 1) % n, stagger=True,
+                     production_order=ag_plan.arrival_order(rank))
             for rank in range(n)
         ]
         self.ag = RingAllGather(topology, nbytes_total=shape.a_bytes)
@@ -138,7 +140,7 @@ class FusedAGConsumerGEMM:
         return self.result
 
 
-def sequential_ag_then_gemm(topology: RingTopology, shape: GEMMShape,
+def sequential_ag_then_gemm(topology: Topology, shape: GEMMShape,
                             n_cus: Optional[int] = None) -> float:
     """Baseline for comparison: AG completes, then the GEMM runs."""
     system = topology.system

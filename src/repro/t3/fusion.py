@@ -22,13 +22,15 @@ point (Section 4.4).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.collectives.plan import CollectivePlan, plan_for
 from repro.gpu.dma import DMACommand
 from repro.gpu.gemm import GEMMKernel, GEMMResult, StoreSink
 from repro.gpu.wavefront import GEMMShape, StageInfo, TileGrid
-from repro.interconnect.topology import RingTopology
+from repro.interconnect.topology import Topology
 from repro.memory.cache import estimate_gemm_traffic
 from repro.memory.nmc import ReductionBuffer
 from repro.memory.request import AccessKind, MemRequest, Stream
@@ -115,15 +117,26 @@ class T3StoreSink(StoreSink):
 
 
 class FusedGEMMRS:
-    """A fused GEMM + ring-RS across every GPU of a ring topology."""
+    """A fused GEMM + reduce-scatter across every GPU of a topology.
 
-    def __init__(self, topology: RingTopology, shape: GEMMShape,
+    The driver programs itself entirely from a
+    :class:`~repro.collectives.plan.CollectivePlan`: chunk routes become
+    Tracker regions, DMA commands and trigger blocks; the plan's staggered
+    production order shapes each rank's :class:`TileGrid`.  On a
+    :class:`~repro.interconnect.topology.HierarchicalRingTopology` the
+    plan is the two-phase intra-node/inter-node ring, so the same fusion
+    runs multi-node.
+    """
+
+    def __init__(self, topology: Topology, shape: GEMMShape,
                  n_cus: Optional[int] = None, stagger: bool = True,
                  calibrate_mca: bool = False, check_invariants: bool = True,
                  tracker_granularity: str = "wg",
-                 collective: str = "ring-rs", split_k: int = 1):
+                 collective: str = "ring-rs", split_k: int = 1,
+                 plan: Optional[CollectivePlan] = None):
         """``collective`` selects the address-space pattern: ``"ring-rs"``
-        (the paper's main mechanism, Figure 7), ``"direct-rs"``
+        (the paper's main mechanism, Figure 7; on a hierarchical topology
+        this becomes the two-phase multi-node plan), ``"direct-rs"``
         (Section 7.1 — fully-connected topology, every foreign chunk
         remote-mapped straight to its owner; no DMA, no local traffic for
         foreign chunks) or ``"all-to-all"`` (Section 7.2 — expert-parallel
@@ -132,7 +145,10 @@ class FusedGEMMRS:
         ``split_k`` models split-K GEMM kernels (Section 7.7): ``split_k``
         co-operating WGs each issue partial updates per tile, and the
         Tracker triggers only after all of them (plus the incoming
-        contribution) have landed."""
+        contribution) have landed.
+
+        ``plan`` overrides the topology-derived collective plan (tests /
+        custom schedules); it must match the topology's rank count."""
         if collective not in ("ring-rs", "direct-rs", "all-to-all"):
             raise ValueError(f"unsupported fused collective {collective!r}")
         if split_k < 1:
@@ -153,26 +169,28 @@ class FusedGEMMRS:
         self.comm_label = "rs" if collective != "all-to-all" else "a2a"
 
         n = self.system.n_gpus
+        if plan is None:
+            # Graceful small-shape chunking: a tiny output that cannot be
+            # cut N ways gets a plan over fewer chunks instead of raising.
+            tiles = (math.ceil(shape.m / self.system.gemm.macro_tile_m)
+                     * math.ceil(shape.n / self.system.gemm.macro_tile_n))
+            max_chunks = tiles if collective == "ring-rs" else None
+            plan = plan_for(topology, collective, max_chunks=max_chunks,
+                            split_k=split_k, stagger=self.stagger)
+        if plan.n_ranks != n:
+            raise ValueError(
+                f"plan covers {plan.n_ranks} ranks but the topology has {n}")
+        self.plan = plan
         self.grids: List[TileGrid] = [
             TileGrid(shape, self.system.gemm, n_cus=self.n_cus,
-                     n_chunks=n, chunk_offset=rank, stagger=self.stagger)
+                     n_chunks=plan.n_chunks, chunk_offset=rank,
+                     stagger=self.stagger,
+                     production_order=plan.production_order(rank))
             for rank in range(n)
         ]
-        if collective == "ring-rs":
-            self.address_configs = [
-                AddressSpaceConfig.ring_reduce_scatter(rank, n,
-                                                       split_k=split_k)
-                for rank in range(n)
-            ]
-        elif collective == "direct-rs":
-            self.address_configs = [
-                AddressSpaceConfig.direct_reduce_scatter(rank, n)
-                for rank in range(n)
-            ]
-        else:
-            self.address_configs = [
-                AddressSpaceConfig.all_to_all(rank, n) for rank in range(n)
-            ]
+        self.address_configs = [
+            AddressSpaceConfig.from_plan(plan, rank) for rank in range(n)
+        ]
         self.trackers: List[Tracker] = []
         self.controllers: List[TriggerController] = []
         self.terminal_events: List[BaseEvent] = []
@@ -231,6 +249,7 @@ class FusedGEMMRS:
                     op=AccessKind.UPDATE,
                     label="rs",
                     read_source=True,
+                    stage=route.stage,
                 ))
                 self.dma_completions.append(gpu.dma.completion(command_id))
             block = DMABlock(

@@ -18,8 +18,9 @@ near-memory op-and-store — zero CU involvement:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
+from repro.collectives.plan import RouteKind, ring_reduce_scatter_plan
 from repro.collectives.schedule import chunk_sizes
 from repro.gpu.dma import DMACommand
 from repro.interconnect.topology import RingTopology
@@ -51,6 +52,7 @@ class NMCReduceScatter:
         self.nbytes_total = nbytes_total
         self.label = label
         n = self.system.n_gpus
+        self.plan = ring_reduce_scatter_plan(n)
         self.chunks = chunk_sizes(nbytes_total, n)
         self._quantum = self.system.fidelity.quantum_bytes
         self.trackers: List[Tracker] = []
@@ -72,27 +74,29 @@ class NMCReduceScatter:
 
     def _setup_rank(self, rank: int) -> None:
         gpu = self.topo.gpus[rank]
-        n = self.system.n_gpus
-        downstream = (rank - 1) % n
         tracker = Tracker(self.system.tracker, granularity="wg",
                           env=self.env, gpu_id=rank)
         gpu.mc.add_tracker_observer(tracker.observe)
         controller = TriggerController(self.env, tracker, gpu.dma)
 
-        # Chunks rank+1 .. rank+N-1 are forwarded; own chunk terminates.
-        for offset in range(1, n):
-            chunk_id = (rank + offset) % n
+        # Forwarded chunks in plan production order; own chunk terminates.
+        routes = self.plan.routes(rank)
+        for position, chunk_id in enumerate(self.plan.production_order(rank)):
+            route = routes[chunk_id]
+            if route.kind is RouteKind.LOCAL_TERMINAL:
+                continue
             command_id = f"nmc-rs.chunk{chunk_id}"
             gpu.dma.program(DMACommand(
                 command_id=command_id,
-                dst_gpu_id=self.topo.gpus[downstream].gpu_id,
+                dst_gpu_id=self.topo.gpus[route.dst_gpu].gpu_id,
                 chunk_id=chunk_id,
                 wg_slices=self._slices(chunk_id),
                 op=AccessKind.UPDATE,
                 label=self.label,
                 read_source=True,
+                stage=route.stage,
             ))
-            if offset == 1:
+            if position == 0:
                 # Fresh local data: fires at start, no tracking needed.
                 self._first_commands.append(command_id)
                 continue

@@ -1,0 +1,228 @@
+"""Tests for the CollectivePlan IR and its consumers.
+
+The plan layer is the single source of truth for ring arithmetic:
+schedules, address maps and stagger orders are all views over it.  These
+tests pin the flat-ring convention (Figure 7), the hierarchical
+multi-node plan, graceful small-shape chunking, and the plan-driven CU
+reduce-scatter baseline.
+"""
+
+import pytest
+
+from repro.collectives.api import (
+    CollectiveOp,
+    all_to_all_time,
+    collective_time,
+    ring_ag_time,
+)
+from repro.collectives.baseline import PlannedReduceScatter, RingReduceScatter
+from repro.collectives.plan import (
+    RouteKind,
+    all_to_all_plan,
+    direct_rs_plan,
+    hierarchical_rs_plan,
+    plan_for,
+    ring_all_gather_plan,
+    ring_production_order,
+    ring_reduce_scatter_plan,
+)
+from repro.collectives.schedule import ring_rs_schedule
+from repro.config import table1_system
+from repro.experiments import scaleout
+from repro.faults import InvariantChecker
+from repro.gpu.wavefront import GEMMShape
+from repro.interconnect.topology import (
+    FullyConnectedTopology,
+    HierarchicalRingTopology,
+    RingTopology,
+)
+from repro.sim import Environment
+from repro.t3.fusion import FusedGEMMRS
+
+
+# ------------------------------------------------------------ flat ring plan
+
+def test_flat_plan_matches_ring_convention():
+    n = 8
+    plan = ring_reduce_scatter_plan(n)
+    plan.validate()
+    for rank in range(n):
+        for step, view in zip(plan.steps(rank), ring_rs_schedule(n, rank)):
+            assert step.dst == (rank - 1) % n
+            assert step.send_chunks == (view.send_chunk,)
+            assert step.recv_chunks == (view.recv_chunk,)
+        routes = plan.routes(rank)
+        assert routes[rank].kind is RouteKind.LOCAL_TERMINAL
+        assert routes[(rank + 1) % n].kind is RouteKind.REMOTE_UPDATE
+        assert routes[(rank + 1) % n].dst_gpu == (rank - 1) % n
+        assert plan.production_order(rank) == ring_production_order(n, rank)
+
+
+def test_flat_plan_split_k_expected_updates():
+    plan = ring_reduce_scatter_plan(8, split_k=4)
+    routes = plan.routes(2)
+    # remote-fed chunk gets split_k incoming partial-sums, others one DMA.
+    assert routes[4].expected_updates == 8   # 4 local + 4 incoming
+    assert routes[5].expected_updates == 5   # 4 local + 1 incoming
+    assert routes[2].expected_updates == 5   # own terminal chunk
+
+
+def test_ag_plan_arrival_order_is_ring_order():
+    plan = ring_all_gather_plan(8)
+    plan.validate()
+    for rank in range(8):
+        assert plan.arrival_order(rank) == [(rank + i) % 8 for i in range(8)]
+
+
+def test_direct_and_a2a_plans_validate():
+    for n in (2, 4, 8):
+        direct_rs_plan(n).validate()
+        all_to_all_plan(n).validate()
+    plan = direct_rs_plan(4)
+    assert plan.routes(1)[1].expected_updates == 4
+    assert plan.routes(1)[3].dst_gpu == 3
+
+
+# --------------------------------------------------- graceful small payloads
+
+def test_plan_clamps_chunks_for_small_payloads():
+    plan = ring_reduce_scatter_plan(8, max_chunks=3)
+    plan.validate()
+    assert plan.n_chunks == 3
+    # only owners of live chunks terminate anything
+    terminal = {r: plan.rank_plan(r).terminal_chunks() for r in range(8)}
+    assert terminal[0] == [0] and terminal[2] == [2]
+    assert terminal[5] == []
+
+
+def test_fused_gemm_rs_small_shape_falls_back_to_fewer_chunks():
+    """A GEMM with fewer output tiles than ranks used to raise inside
+    split_evenly mid-sweep; the plan layer now clamps the chunk count."""
+    env = Environment()
+    system = table1_system(n_gpus=8)
+    topo = RingTopology(env, system)
+    # 256x128 output on 256x128 macro-tiles = 2 WG tiles < 8 ranks.
+    shape = GEMMShape(m=256, n=128, k=512, element_bytes=2)
+    fused = FusedGEMMRS(topo, shape)
+    assert fused.plan.n_chunks == 2
+    result = fused.run()
+    assert result.duration > 0
+    assert len(result.per_rank_terminal) == 2  # only live-chunk owners
+
+
+# --------------------------------------------------------- hierarchical plan
+
+@pytest.mark.parametrize("nodes,per", [(2, 2), (2, 4), (4, 2), (3, 4)])
+def test_hierarchical_plan_validates_and_terminates_at_owner(nodes, per):
+    plan = hierarchical_rs_plan(nodes, per)
+    plan.validate()
+    assert plan.stage_names == ("intra", "inter")
+    for rank in range(nodes * per):
+        assert plan.rank_plan(rank).terminal_chunks() == [rank]
+
+
+def test_hierarchical_plan_degenerates_to_flat_ring():
+    flat = ring_reduce_scatter_plan(8)
+    for plan in (hierarchical_rs_plan(1, 8), hierarchical_rs_plan(8, 1)):
+        for rank in range(8):
+            assert plan.steps(rank) == flat.steps(rank)
+            assert plan.routes(rank) == flat.routes(rank)
+
+
+def test_plan_for_dispatches_on_topology():
+    system = table1_system(n_gpus=8)
+    assert plan_for(RingTopology(Environment(), system)).n_chunks == 8
+    hier = HierarchicalRingTopology(Environment(), system, gpus_per_node=4)
+    assert plan_for(hier).stage_names == ("intra", "inter")
+    flat = HierarchicalRingTopology(Environment(), system, gpus_per_node=8)
+    assert plan_for(flat).stage_names == ("ring",)
+    full = FullyConnectedTopology(Environment(), system)
+    assert plan_for(full, "direct-rs").collective == "direct-rs"
+
+
+def test_fused_t3_runs_multi_node():
+    """The headline capability: fused GEMM-RS across 2 nodes x 4 GPUs,
+    with the invariant checker clean."""
+    env = Environment()
+    env.invariants = InvariantChecker(env)
+    system = table1_system(n_gpus=8)
+    topo = HierarchicalRingTopology(env, system, gpus_per_node=4,
+                                    policy_name="mca")
+    shape = GEMMShape(m=1024, n=1024, k=512, element_bytes=2)
+    fused = FusedGEMMRS(topo, shape, calibrate_mca=True)
+    assert fused.plan.stage_names == ("intra", "inter")
+    result = fused.run()
+    env.invariants.check_all()
+    assert len(result.per_rank_terminal) == 8
+    assert result.duration > 0
+
+
+# ------------------------------------------- plan-driven CU reduce-scatter
+
+def test_planned_rs_matches_ring_rs_on_flat_ring():
+    def run(cls):
+        env = Environment()
+        topo = RingTopology(env, table1_system(n_gpus=8))
+        res = cls(topo, nbytes_total=16 * 1024 * 1024).run()
+        return res.duration, dict(res.per_rank_end)
+
+    legacy = run(RingReduceScatter)
+    planned = run(PlannedReduceScatter)
+    assert planned == legacy
+
+
+def test_planned_rs_completes_on_hierarchical_topology():
+    env = Environment()
+    topo = HierarchicalRingTopology(env, table1_system(n_gpus=8),
+                                    gpus_per_node=4)
+    rs = PlannedReduceScatter(topo, nbytes_total=16 * 1024 * 1024)
+    res = rs.run()
+    assert len(res.per_rank_end) == 8
+    assert res.duration > 0
+
+
+# -------------------------------------------------- all-to-all closed form
+
+def test_all_to_all_time_own_closed_form():
+    """The a2a model must price the pairwise exchange, not alias the ring
+    all-gather (which forwards N-1 chunk-steps of the whole payload)."""
+    system = table1_system(n_gpus=8)
+    nbytes = 64 * 1024 * 1024
+    a2a = collective_time(CollectiveOp.ALL_TO_ALL, nbytes, system)
+    assert a2a == all_to_all_time(nbytes, system)
+    assert a2a != ring_ag_time(nbytes, system)
+    # n_cus is accepted (and ignored) like the other dispatches.
+    assert collective_time(CollectiveOp.ALL_TO_ALL, nbytes, system,
+                           n_cus=32) == a2a
+
+
+def test_all_to_all_time_scales_with_bisection():
+    """Pairwise shards crossing the ring cut make a2a *worse* with more
+    devices at fixed payload — the opposite of ring-AG, whose per-step
+    chunk shrinks.  The old alias (a2a priced as ring-AG) got this
+    backwards."""
+    nbytes = 64 * 1024 * 1024
+    a2a_8 = all_to_all_time(nbytes, table1_system(n_gpus=8))
+    a2a_16 = all_to_all_time(nbytes, table1_system(n_gpus=16))
+    assert a2a_16 > a2a_8
+    ag_growth = (ring_ag_time(nbytes, table1_system(n_gpus=16))
+                 / ring_ag_time(nbytes, table1_system(n_gpus=8)))
+    assert a2a_16 / a2a_8 > ag_growth  # bisection dominates, AG ~flat
+    # payload monotonicity
+    assert all_to_all_time(2 * nbytes, table1_system(n_gpus=8)) > a2a_8
+
+
+# ------------------------------------------------------ scaleout experiment
+
+def test_scaleout_experiment_t3_beats_sequential():
+    result = scaleout.run(fast=True)
+    labels = [row.label for row in result.rows]
+    assert labels == ["1 node x 8 GPUs", "2 nodes x 4 GPUs"]
+    for row in result.rows:
+        assert row.speedup > 1.0, row.label
+    hier = result.row("2 nodes x 4 GPUs")
+    assert hier.stage_names == ["intra", "inter"]
+    stages = {span.stage for span in hier.plan_stages}
+    assert stages == {"intra", "inter"}
+    rendered = result.render()
+    assert "scale-out" in rendered and "intra" in rendered

@@ -276,3 +276,82 @@ def test_geomean_homogeneous(scale, values):
     scaled = [v * scale for v in values]
     assert geomean(scaled) == pytest.approx(geomean(values) * scale,
                                             rel=1e-6)
+
+
+# ------------------------------------------------ collective plan cross-rank
+
+from repro.collectives.plan import (  # noqa: E402
+    hierarchical_rs_plan,
+    ring_production_order,
+    ring_reduce_scatter_plan,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(2, 16), split_k=st.integers(1, 4))
+def test_plan_cross_rank_send_recv_symmetry(n, split_k):
+    """Every send in the plan has the matching receive on the downstream
+    rank at the same (stage, step) — the event-matching property the
+    plan-driven executor keys on."""
+    plan = ring_reduce_scatter_plan(n, split_k=split_k)
+    plan.validate()
+    recvs = {(r, s.stage, s.step, c)
+             for r in range(n) for s in plan.steps(r)
+             for c in s.recv_chunks}
+    sends = {(s.dst, s.stage, s.step, c)
+             for r in range(n) for s in plan.steps(r)
+             for c in s.send_chunks}
+    assert sends == recvs
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(2, 16))
+def test_plan_every_chunk_reduced_exactly_once(n):
+    """Each chunk has exactly one terminal owner, and the total update
+    contributions flowing into it equal its expected count (validate()
+    re-derives this mechanically from the routes)."""
+    plan = ring_reduce_scatter_plan(n)
+    plan.validate()
+    owners = [r for r in range(n) for c in plan.rank_plan(r).terminal_chunks()]
+    assert sorted(owners) == list(range(n))
+    for c in range(n):
+        assert plan.terminal_rank(c) == c
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=st.sampled_from([(2, 2), (2, 4), (4, 2), (2, 8), (4, 4),
+                              (3, 4), (2, 3), (3, 2)]),
+       split_k=st.integers(1, 3))
+def test_hierarchical_plan_cross_rank_consistency(shape, split_k):
+    nodes, per = shape
+    plan = hierarchical_rs_plan(nodes, per, split_k=split_k)
+    plan.validate()
+    n = nodes * per
+    recvs = {(r, s.stage, s.step, c)
+             for r in range(n) for s in plan.steps(r)
+             for c in s.recv_chunks}
+    sends = {(s.dst, s.stage, s.step, c)
+             for r in range(n) for s in plan.steps(r)
+             for c in s.send_chunks}
+    assert sends == recvs
+    assert sorted(c for r in range(n)
+                  for c in plan.rank_plan(r).terminal_chunks()) == \
+        list(range(n))
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(2, 16), rank=st.integers(0, 15))
+def test_plan_views_agree_across_layers(n, rank):
+    """Address-map routes, TileGrid production order and the ring-RS
+    schedule are views of one plan and must tell the same story."""
+    rank = rank % n
+    sends = [s.send_chunk for s in ring_rs_schedule(n, rank)]
+    order = ring_production_order(n, rank)
+    assert order == sends + [rank]
+    config = AddressSpaceConfig.ring_reduce_scatter(rank, n)
+    assert config.remote_chunks() == sends[:1]
+    assert set(config.dma_chunks()) == set(sends[1:])
+    grid = TileGrid(GEMMShape(m=4096, n=2048, k=256, element_bytes=2),
+                    KCFG, n_cus=8, n_chunks=n, chunk_offset=rank,
+                    stagger=True)
+    assert grid.chunk_order() == order

@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint check smoke-cache smoke-faults smoke-obs bench profile \
-	results clean-cache
+.PHONY: test lint check smoke-cache smoke-faults smoke-obs smoke-engine \
+	bench profile results clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,7 +17,7 @@ lint:
 	fi
 
 # Everything CI runs: the tier-1 suite plus lint and the smoke tests.
-check: test lint smoke-cache smoke-faults smoke-obs
+check: test lint smoke-cache smoke-faults smoke-obs smoke-engine
 
 # Cache smoke test: figure16 twice; the second run must hit the persistent
 # sweep cache (zero simulations), be much faster, and render identically.
@@ -33,6 +33,12 @@ smoke-faults:
 # the metrics registry attached vs. absent.
 smoke-obs:
 	$(PYTHON) scripts/smoke_obs.py
+
+# Engine smoke test: the optimized scheduler renders bit-identical
+# results (plain, fault-injected, telemetry-attached) to the legacy
+# reference scheduler.
+smoke-engine:
+	$(PYTHON) scripts/smoke_engine.py
 
 # Capture a bench trajectory point (results/BENCH_0003.json) and
 # validate it against the schema.

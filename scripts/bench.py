@@ -4,7 +4,9 @@
 Simulates a small set of sub-layer cases with telemetry attached and
 records, per case: host wall-clock, speedups over Sequential, and the
 overlap efficiency (fraction of communication hidden under compute) of
-every simulated configuration.  The payload follows the schema in
+every simulated configuration — plus an aggregate ``cases_per_second``
+throughput metric (schema v2), the figure of merit for engine hot-path
+work.  The payload follows the schema in
 :mod:`repro.obs.bench` and lands in ``results/BENCH_0003.json`` by
 default — the checked-in trajectory point CI validates on every push.
 
@@ -82,6 +84,10 @@ def capture(mode: str) -> dict:
         print(f"  {suite.label}: "
               f"{experiments[-1]['wall_clock_s']:.2f}s, speedups "
               f"{experiments[-1]['speedups']}")
+    elapsed = time.time() - started
+    cases_per_second = len(experiments) / elapsed if elapsed > 0 else 0.0
+    print(f"  throughput: {cases_per_second:.3f} cases/s "
+          f"({len(experiments)} case(s) in {elapsed:.2f}s)")
     return bench.build_payload(
         mode=mode,
         captured_at=datetime.datetime.now(datetime.timezone.utc)
@@ -91,7 +97,8 @@ def capture(mode: str) -> dict:
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
-        wall_clock_s=round(time.time() - started, 3),
+        wall_clock_s=round(elapsed, 3),
+        cases_per_second=round(cases_per_second, 4),
         experiments=experiments,
     )
 
@@ -110,7 +117,8 @@ def check(path: pathlib.Path) -> int:
         return 1
     n = len(payload["experiments"])
     print(f"OK {path}: schema v{payload['schema_version']}, "
-          f"mode={payload['mode']}, {n} experiment(s)")
+          f"mode={payload['mode']}, {n} experiment(s), "
+          f"{payload['cases_per_second']} cases/s")
     return 0
 
 

@@ -297,6 +297,7 @@ def run_cases(specs: Sequence[CaseSpec],
                 _simulate_payload(spec.to_payload()))
             finish(index, spec, key, suite, time.time() - started)
 
+    simulate_started = time.time()
     if len(pending) <= 1 or jobs <= 1:
         run_serial(pending)
     else:
@@ -313,6 +314,11 @@ def run_cases(specs: Sequence[CaseSpec],
                 progress(f"  retrying {len(cases)} failed case(s) "
                          "in-process")
             run_serial(cases)
+    if progress and pending:
+        elapsed = time.time() - simulate_started
+        if elapsed > 0:
+            progress(f"sweep throughput: {len(pending) / elapsed:.3f} "
+                     f"cases/s ({len(pending)} simulated in {elapsed:.1f}s)")
     return [suite for suite in results if suite is not None]
 
 

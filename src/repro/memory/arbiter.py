@@ -20,22 +20,35 @@ so per-channel state (round-robin turn, starvation clock) stays local.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.config import MCAConfig
 from repro.memory.request import Stream
 
 
-@dataclass
 class ArbiterState:
-    """The view of one channel the policy decides on."""
+    """The view of one channel the policy decides on.
 
-    compute_waiting: int
-    comm_waiting: int
-    dram_occupancy: int
-    dram_capacity: int
-    now: float
+    Constructed once per arbitration decision on the simulator hot path,
+    so it is a slotted plain class rather than a dataclass.
+    """
+
+    __slots__ = ("compute_waiting", "comm_waiting", "dram_occupancy",
+                 "dram_capacity", "now")
+
+    def __init__(self, compute_waiting: int, comm_waiting: int,
+                 dram_occupancy: int, dram_capacity: int, now: float):
+        self.compute_waiting = compute_waiting
+        self.comm_waiting = comm_waiting
+        self.dram_occupancy = dram_occupancy
+        self.dram_capacity = dram_capacity
+        self.now = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ArbiterState(compute_waiting={self.compute_waiting}, "
+                f"comm_waiting={self.comm_waiting}, "
+                f"dram_occupancy={self.dram_occupancy}, "
+                f"dram_capacity={self.dram_capacity}, now={self.now})")
 
 
 class ArbitrationPolicy:

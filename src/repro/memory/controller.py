@@ -41,12 +41,13 @@ class MemoryController:
         self.record_traffic = config.fidelity.record_traffic
         self.traffic: Dict[str, TimeSeries] = {}
         self._tracker_observers: List[Callable[[MemRequest], None]] = []
-        self._outstanding: Dict[Stream, int] = {
-            Stream.COMPUTE: 0, Stream.COMM: 0,
-        }
-        self._drain_waiters: Dict[Stream, List[BaseEvent]] = {
-            Stream.COMPUTE: [], Stream.COMM: [],
-        }
+        # Outstanding counts and drain waiters live in plain attributes
+        # (not Stream-keyed dicts): ``_on_serviced`` runs once per DRAM
+        # transaction and enum hashing is measurable there.
+        self._out_compute = 0
+        self._out_comm = 0
+        self._waiters_compute: List[BaseEvent] = []
+        self._waiters_comm: List[BaseEvent] = []
         memory = config.memory
         self.channels = [
             HBMChannel(
@@ -71,9 +72,15 @@ class MemoryController:
     def submit(self, request: MemRequest) -> BaseEvent:
         """Submit one transaction; returns its completion event."""
         request.attach(self.env)
-        self._outstanding[request.stream] += 1
-        channel = self.channels[self._next_channel]
-        self._next_channel = (self._next_channel + 1) % len(self.channels)
+        if request.stream is Stream.COMM:
+            self._out_comm += 1
+        else:
+            self._out_compute += 1
+        channels = self.channels
+        index = self._next_channel
+        channel = channels[index]
+        index += 1
+        self._next_channel = 0 if index == len(channels) else index
         channel.submit(request)
         return request.done
 
@@ -107,35 +114,48 @@ class MemoryController:
         self._tracker_observers.append(observer)
 
     def _on_serviced(self, request: MemRequest) -> None:
-        self.counters.add(request.counter_key, request.nbytes)
+        key = request.counter_key
+        nbytes = request.nbytes
+        self.counters.add(key, nbytes)
         if self.record_traffic:
-            series = self.traffic.get(request.counter_key)
+            series = self.traffic.get(key)
             if series is None:
-                series = TimeSeries(request.counter_key)
-                self.traffic[request.counter_key] = series
-            series.record(self.env.now, request.nbytes)
-        if request.kind in (AccessKind.WRITE, AccessKind.UPDATE):
+                series = TimeSeries(key)
+                self.traffic[key] = series
+            series.record(self.env._now, nbytes)
+        if request.kind is not AccessKind.READ:  # WRITE or UPDATE
             for observer in self._tracker_observers:
                 observer(request)
-        self._outstanding[request.stream] -= 1
-        if self._outstanding[request.stream] == 0:
-            waiters = self._drain_waiters[request.stream]
-            self._drain_waiters[request.stream] = []
-            for waiter in waiters:
-                waiter.succeed()
+        if request.stream is Stream.COMM:
+            self._out_comm -= 1
+            if self._out_comm == 0 and self._waiters_comm:
+                waiters = self._waiters_comm
+                self._waiters_comm = []
+                for waiter in waiters:
+                    waiter.succeed()
+        else:
+            self._out_compute -= 1
+            if self._out_compute == 0 and self._waiters_compute:
+                waiters = self._waiters_compute
+                self._waiters_compute = []
+                for waiter in waiters:
+                    waiter.succeed()
 
     # -- drains ----------------------------------------------------------------
 
     def outstanding(self, stream: Stream) -> int:
-        return self._outstanding[stream]
+        return self._out_comm if stream is Stream.COMM else self._out_compute
 
     def drain(self, stream: Stream) -> BaseEvent:
         """Event firing when every submitted request of ``stream`` is done."""
         done = BaseEvent(self.env)
-        if self._outstanding[stream] == 0:
+        if self.outstanding(stream) == 0:
             done.succeed()
         else:
-            self._drain_waiters[stream].append(done)
+            if stream is Stream.COMM:
+                self._waiters_comm.append(done)
+            else:
+                self._waiters_compute.append(done)
             if self.env.obs is not None:
                 scope = self.env.obs.scope(self.gpu_id, "mc")
                 scope.count(f"drain_waits.{stream.value}")
@@ -180,8 +200,8 @@ class MemoryController:
         }
         occupancy = sum(c.dram_occupancy for c in self.channels)
         return (f"gpu{self.gpu_id}.mc: outstanding "
-                f"compute={self._outstanding[Stream.COMPUTE]} "
-                f"comm={self._outstanding[Stream.COMM]}; stream backlog "
+                f"compute={self._out_compute} "
+                f"comm={self._out_comm}; stream backlog "
                 f"{backlog}; dram occupancy {occupancy}")
 
     @property

@@ -9,9 +9,14 @@ Each channel is a service center with:
   op-and-store (``UPDATE``) requests taking ``ccdwl_factor`` times longer
   (CCDWL = 2 x CCDL, Table 1 / Section 5.1.1).
 
-Two coroutines run per channel: an *issue loop* that moves requests from
-the stream queues into the DRAM queue under the arbitration policy, and a
-*service loop* that drains the DRAM queue in order.
+Two event-driven state machines run per channel: an *issue machine* that
+moves requests from the stream queues into the DRAM queue under the
+arbitration policy, and a *service machine* that drains the DRAM queue in
+order.  They are written as plain event callbacks rather than generator
+processes: together they handle roughly half of all event firings in a
+simulation, and a direct callback skips the generator-resume machinery
+while scheduling exactly the same events in exactly the same order (one
+wake per sleep, one zero-timeout per issue, one timed event per service).
 """
 
 from __future__ import annotations
@@ -47,29 +52,52 @@ class HBMChannel:
         self.policy = policy
         self.on_serviced = on_serviced
 
-        self._queues: dict[Stream, Deque[MemRequest]] = {
-            Stream.COMPUTE: deque(),
-            Stream.COMM: deque(),
-        }
+        # One deque per stream as plain attributes: the issue loop touches
+        # them every iteration and a Stream-keyed dict costs an enum hash
+        # per access.
+        self._q_compute: Deque[MemRequest] = deque()
+        self._q_comm: Deque[MemRequest] = deque()
         self._dram_q: Deque[MemRequest] = deque()
         self._in_service = 0
-        self._issue_wake: Optional[BaseEvent] = None
-        self._service_wake: Optional[BaseEvent] = None
+        #: idle means: no tick scheduled, waiting to be woken.  The waker
+        #: (submit / the peer machine) flips the flag and schedules a wake
+        #: event, so a machine is woken at most once per sleep — the same
+        #: protocol the former generator loops ran with wake events.
+        self._issue_idle = True
+        self._service_idle = True
+        self._servicing: Optional[MemRequest] = None
+        self._service_duration = 0.0
         self.busy_time = 0.0
         self.bytes_serviced = 0.0
         self.bytes_enqueued = 0.0
 
-        env.process(self._issue_loop(), name=f"hbm{channel_id}.issue")
-        env.process(self._service_loop(), name=f"hbm{channel_id}.service")
+        # Lazily-resolved obs handles (a channel lives in exactly one env,
+        # whose registry is attached before the first event fires): the
+        # occupancy gauge is touched once per issue *and* once per service,
+        # and rebuilding scope + key strings there dominates obs overhead.
+        self._occ_key = f"ch{channel_id}.occupancy"
+        self._obs_occ_gauge = None
+        self._obs_arb_scope = None
+        self._gate_threshold: object = self  # sentinel: not yet resolved
+        self._key_comm_grants = ""
+        self._key_comm_deferrals = ""
 
     # -- public API ---------------------------------------------------------
 
     def submit(self, request: MemRequest) -> None:
-        request.attach(self.env)
-        request.issued_at = self.env.now
+        env = self.env
+        request.attach(env)
+        request.issued_at = env._now
         self.bytes_enqueued += request.nbytes
-        self._queues[request.stream].append(request)
-        self._wake_issue()
+        if request.stream is Stream.COMM:
+            self._q_comm.append(request)
+        else:
+            self._q_compute.append(request)
+        if self._issue_idle:
+            self._issue_idle = False
+            wake = BaseEvent(env)
+            wake._callbacks.append(self._issue_tick)
+            wake.succeed()
 
     @property
     def dram_occupancy(self) -> int:
@@ -77,15 +105,15 @@ class HBMChannel:
         return len(self._dram_q) + self._in_service
 
     def stream_backlog(self, stream: Stream) -> int:
-        return len(self._queues[stream])
+        return len(self._q_comm if stream is Stream.COMM else self._q_compute)
 
     @property
     def idle(self) -> bool:
         return (
             not self._dram_q
             and self._in_service == 0
-            and not self._queues[Stream.COMPUTE]
-            and not self._queues[Stream.COMM]
+            and not self._q_compute
+            and not self._q_comm
         )
 
     def service_time(self, request: MemRequest) -> float:
@@ -99,45 +127,36 @@ class HBMChannel:
             return 0.0
         return min(1.0, self.busy_time / elapsed_ns)
 
-    # -- wake plumbing --------------------------------------------------------
-
-    def _wake_issue(self) -> None:
-        if self._issue_wake is not None and not self._issue_wake.triggered:
-            self._issue_wake.succeed()
-
-    def _wake_service(self) -> None:
-        if self._service_wake is not None and not self._service_wake.triggered:
-            self._service_wake.succeed()
-
-    # -- coroutines -----------------------------------------------------------
-
-    def _state(self) -> ArbiterState:
-        return ArbiterState(
-            compute_waiting=len(self._queues[Stream.COMPUTE]),
-            comm_waiting=len(self._queues[Stream.COMM]),
-            dram_occupancy=self.dram_occupancy,
-            dram_capacity=self.queue_depth,
-            now=self.env.now,
-        )
+    # -- event-driven state machines ------------------------------------------
 
     def _record_arbitration(self, state: Optional[ArbiterState],
                             choice: Optional[Stream]) -> None:
         """Publish one arbitration decision (obs enabled only).
 
-        ``state is None`` means the DRAM queue was full — no policy
-        consultation happened, every backlogged stream was deferred.
+        ``state is None`` means no policy consultation happened — the DRAM
+        queue was full (every backlogged stream was deferred) or nothing
+        was waiting at all.
         """
-        scope = self.env.obs.scope(self.gpu_id, "arbiter")
+        scope = self._obs_arb_scope
+        if scope is None:
+            scope = self._obs_arb_scope = self.env.obs.scope(
+                self.gpu_id, "arbiter")
         threshold = getattr(self.policy, "threshold", None)
-        gate = "inf" if threshold is None else str(threshold)
+        if threshold is not self._gate_threshold:
+            # Threshold changes only on MCA calibration; rebuild the
+            # gate-tagged counter keys then instead of per decision.
+            self._gate_threshold = threshold
+            gate = "inf" if threshold is None else str(threshold)
+            self._key_comm_grants = f"comm_grants.t{gate}"
+            self._key_comm_deferrals = f"comm_deferrals.t{gate}"
         if state is None:
-            if self._queues[Stream.COMM]:
+            if self._q_comm:
                 scope.count("comm_deferrals.queue_full")
-            if self._queues[Stream.COMPUTE]:
+            if self._q_compute:
                 scope.count("compute_deferrals.queue_full")
             return
         if choice is Stream.COMM:
-            scope.count(f"comm_grants.t{gate}")
+            scope.count(self._key_comm_grants)
             if state.compute_waiting > 0:
                 # Comm beat waiting compute: only the starvation guard
                 # (or round-robin fairness) does that.
@@ -147,77 +166,121 @@ class HBMChannel:
             if state.compute_waiting > 0:
                 scope.count("comm_deferrals.compute_busy")
             else:
-                scope.count(f"comm_deferrals.t{gate}")
+                scope.count(self._key_comm_deferrals)
         if choice is Stream.COMPUTE:
             scope.count("compute_grants")
 
-    def _issue_loop(self):
-        while True:
-            choice: Optional[Stream] = None
-            state: Optional[ArbiterState] = None
-            if self.dram_occupancy < self.queue_depth:
-                state = self._state()
-                choice = self.policy.choose(state)
-            if self.env.obs is not None:
-                self._record_arbitration(state, choice)
-            if choice is None:
-                self._issue_wake = BaseEvent(self.env)
-                yield self._issue_wake
-                self._issue_wake = None
-                continue
-            request = self._queues[choice].popleft()
-            self._dram_q.append(request)
-            if self.env.obs is not None:
-                self.env.obs.scope(self.gpu_id, "dram").gauge(
-                    f"ch{self.channel_id}.occupancy").set(
-                        self.env.now, self.dram_occupancy)
-            self.policy.on_issue(choice, self.env.now)
-            self._wake_service()
-            # Yield a zero-timeout so issue/service interleave fairly and
-            # occupancy is observed one request at a time.
-            yield self.env.timeout(0)
+    def _issue_tick(self, _event: Optional[BaseEvent] = None) -> None:
+        """One arbitration round: issue at most one request, then either
+        chain a zero-timeout tick (so issue/service interleave fairly and
+        occupancy is observed one request at a time) or go idle."""
+        env = self.env
+        q_compute = self._q_compute
+        q_comm = self._q_comm
+        dram_q = self._dram_q
+        depth = self.queue_depth
+        choice: Optional[Stream] = None
+        state: Optional[ArbiterState] = None
+        if (q_compute or q_comm) and len(dram_q) + self._in_service < depth:
+            state = ArbiterState(
+                len(q_compute), len(q_comm),
+                len(dram_q) + self._in_service, depth, env._now)
+            choice = self.policy.choose(state)
+        if env.obs is not None:
+            self._record_arbitration(state, choice)
+        if choice is None:
+            self._issue_idle = True
+            return
+        if choice is Stream.COMM:
+            request = q_comm.popleft()
+        else:
+            request = q_compute.popleft()
+        dram_q.append(request)
+        if env.obs is not None:
+            gauge = self._obs_occ_gauge
+            if gauge is None:
+                gauge = self._obs_occ_gauge = env.obs.scope(
+                    self.gpu_id, "dram").gauge(self._occ_key)
+            gauge.set(env._now, len(dram_q) + self._in_service)
+        self.policy.on_issue(choice, env._now)
+        if self._service_idle:
+            self._service_idle = False
+            wake = BaseEvent(env)
+            wake._callbacks.append(self._service_tick)
+            wake.succeed()
+        env.timeout(0)._callbacks.append(self._issue_tick)
 
-    def _service_loop(self):
-        while True:
-            if not self._dram_q:
-                self._service_wake = BaseEvent(self.env)
-                yield self._service_wake
-                self._service_wake = None
-                continue
-            request = self._dram_q.popleft()
-            self._in_service = 1
-            duration = self.service_time(request)
-            yield self.env.timeout(duration)
-            self._in_service = 0
-            self.busy_time += duration
-            if self.env.obs is not None:
-                scope = self.env.obs.scope(self.gpu_id, "dram")
-                now = self.env.now
-                if request.kind is AccessKind.UPDATE:
-                    scope.count("nmc_updates")
-                elif request.kind is AccessKind.WRITE:
-                    scope.count("writes")
-                else:
-                    scope.count("reads")
-                scope.count(f"bytes.{request.stream.value}", request.nbytes)
-                scope.observe(f"service_ns.{request.stream.value}", duration)
-                if request.stream is Stream.COMM:
-                    scope.span("comm_service", now - duration, now)
-                scope.gauge(f"ch{self.channel_id}.occupancy").set(
-                    now, self.dram_occupancy)
-            trace = self.env.trace
-            if trace is not None and trace.record_dram:
-                trace.span(
-                    name=request.counter_key, category="dram",
-                    start_ns=self.env.now - duration, end_ns=self.env.now,
-                    track=f"hbm.ch{self.channel_id}", group="memory",
-                    args={"stream": request.stream.value,
-                          "bytes": request.nbytes})
-            self.bytes_serviced += request.nbytes
-            request.serviced_at = self.env.now
-            if request.done is not None:
-                request.done.succeed(request)
-            if self.on_serviced is not None:
-                self.on_serviced(request)
-            # Occupancy dropped: the issue loop may proceed.
-            self._wake_issue()
+    def _service_tick(self, _event: Optional[BaseEvent] = None) -> None:
+        """Pull the next request into service, or go idle."""
+        dram_q = self._dram_q
+        if not dram_q:
+            self._service_idle = True
+            return
+        request = dram_q.popleft()
+        self._in_service = 1
+        duration = request.nbytes / self.bandwidth
+        if request.kind is AccessKind.UPDATE:
+            duration = duration * self.ccdwl_factor
+        self._servicing = request
+        self._service_duration = duration
+        self.env.timeout(duration)._callbacks.append(self._service_done)
+
+    def _service_done(self, _event: BaseEvent) -> None:
+        """Retire the request in service, then chain to the next one."""
+        env = self.env
+        dram_q = self._dram_q
+        request = self._servicing
+        duration = self._service_duration
+        self._servicing = None
+        self._in_service = 0
+        self.busy_time += duration
+        if env.obs is not None:
+            scope = env.obs.scope(self.gpu_id, "dram")
+            now = env._now
+            if request.kind is AccessKind.UPDATE:
+                scope.count("nmc_updates")
+            elif request.kind is AccessKind.WRITE:
+                scope.count("writes")
+            else:
+                scope.count("reads")
+            # Key strings mirror Stream.value ("compute"/"comm") but
+            # are spelled out: an enum ``.value`` read plus an f-string
+            # per serviced request is measurable at this call rate.
+            if request.stream is Stream.COMM:
+                scope.count("bytes.comm", request.nbytes)
+                scope.observe("service_ns.comm", duration)
+                scope.span("comm_service", now - duration, now)
+            else:
+                scope.count("bytes.compute", request.nbytes)
+                scope.observe("service_ns.compute", duration)
+            gauge = self._obs_occ_gauge
+            if gauge is None:
+                gauge = self._obs_occ_gauge = scope.gauge(self._occ_key)
+            gauge.set(now, len(dram_q) + self._in_service)
+        trace = env.trace
+        if trace is not None and trace.record_dram:
+            trace.span(
+                name=request.counter_key, category="dram",
+                start_ns=env._now - duration, end_ns=env._now,
+                track=f"hbm.ch{self.channel_id}", group="memory",
+                args={"stream": request.stream.value,
+                      "bytes": request.nbytes})
+        self.bytes_serviced += request.nbytes
+        request.serviced_at = env._now
+        done = request.done
+        if done is not None:
+            done.succeed(request)
+        if self.on_serviced is not None:
+            self.on_serviced(request)
+        # Occupancy dropped: the issue machine may proceed — but only
+        # wake it when it has backlog to issue.  A wake with both stream
+        # queues empty would check, record nothing (even under obs: no
+        # stream is waiting, so no deferral is counted) and go straight
+        # back to sleep; skipping it removes roughly one dead event per
+        # serviced request without changing any decision.
+        if self._issue_idle and (self._q_compute or self._q_comm):
+            self._issue_idle = False
+            wake = BaseEvent(env)
+            wake._callbacks.append(self._issue_tick)
+            wake.succeed()
+        self._service_tick()

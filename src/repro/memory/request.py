@@ -40,7 +40,7 @@ class Stream(enum.Enum):
 _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class MemRequest:
     """A single memory transaction of ``nbytes`` (one simulation quantum)."""
 
@@ -56,14 +56,13 @@ class MemRequest:
     done: Optional[BaseEvent] = None
     issued_at: Optional[float] = None
     serviced_at: Optional[float] = None
+    #: accounting key, computed once — read on every service completion.
+    counter_key: str = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.nbytes <= 0:
             raise ValueError("memory request must move a positive byte count")
-
-    @property
-    def counter_key(self) -> str:
-        return f"{self.label}.{self.kind.value}"
+        self.counter_key = f"{self.label}.{self.kind.value}"
 
     @property
     def has_tracker_metadata(self) -> bool:

@@ -19,20 +19,24 @@ from typing import Any, Dict, List
 
 #: schema identity: bump the version on any breaking layout change and
 #: keep ``validate`` accepting only the current version.
+#:
+#: v2: adds the required top-level ``cases_per_second`` throughput metric
+#: (simulated cases per host second across the whole case set) — the
+#: first-class figure of merit for engine hot-path work.
 BENCH_SCHEMA = "t3-bench"
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: modes a bench point can be captured in.
 BENCH_MODES = ("smoke", "fast", "full")
 
 _REQUIRED_TOP = ("schema", "schema_version", "mode", "captured_at",
-                 "host", "wall_clock_s", "experiments")
+                 "host", "wall_clock_s", "cases_per_second", "experiments")
 _REQUIRED_EXPERIMENT = ("case", "wall_clock_s", "speedups",
                         "overlap_efficiency")
 
 
 def build_payload(mode: str, captured_at: str, host: Dict[str, str],
-                  wall_clock_s: float,
+                  wall_clock_s: float, cases_per_second: float,
                   experiments: List[Dict[str, Any]]) -> Dict[str, Any]:
     """Assemble a bench point; raises on anything the schema rejects."""
     payload = {
@@ -42,6 +46,7 @@ def build_payload(mode: str, captured_at: str, host: Dict[str, str],
         "captured_at": captured_at,
         "host": host,
         "wall_clock_s": wall_clock_s,
+        "cases_per_second": cases_per_second,
         "experiments": experiments,
     }
     errors = validate(payload)
@@ -76,6 +81,8 @@ def validate(payload: Any) -> List[str]:
         errors.append("host must be an object")
     if not _positive_number(payload["wall_clock_s"]):
         errors.append("wall_clock_s must be a positive number")
+    if not _positive_number(payload["cases_per_second"]):
+        errors.append("cases_per_second must be a positive number")
     experiments = payload["experiments"]
     if not isinstance(experiments, list) or not experiments:
         errors.append("experiments must be a non-empty list")

@@ -3,13 +3,65 @@
 Simulation time is a ``float`` in *nanoseconds* throughout this repository
 (see :mod:`repro.units`).  Events scheduled at the same timestamp are fired
 in FIFO order of scheduling, which keeps runs deterministic.
+
+Two schedulers implement that contract:
+
+* ``"optimized"`` (the default) — the hot path.  ``run()`` inlines the
+  pop/fire/resume cycle into a single loop with localized references,
+  batches same-timestamp firings without re-entering the dispatcher, and
+  pre-resolves the watchdog checks so an unbounded run pays nothing for
+  limits it did not configure.
+* ``"legacy"`` — the reference implementation: a plain loop over
+  :meth:`Environment.step`, preserved verbatim so the optimized path can
+  be proven *bit-identical* against it (``scripts/smoke_engine.py`` and
+  the hypothesis equivalence suite assert identical events fired, final
+  times, and results on both).
+
+Both schedulers share one event representation and one ``_schedule``
+ordering rule — a heap of ``(time, seq, event)`` with a monotonically
+increasing ``seq`` as the FIFO tie-break — so their firing order is equal
+by construction; the gates exist to keep it that way mechanically.
 """
 
 from __future__ import annotations
 
-import heapq
+import os
 import weakref
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
+
+#: the two event-loop implementations (see module docstring).
+SCHEDULERS = ("optimized", "legacy")
+
+_default_scheduler = os.environ.get("REPRO_T3_SCHEDULER", "optimized")
+if _default_scheduler not in SCHEDULERS:  # pragma: no cover - env guard
+    raise RuntimeError(
+        f"REPRO_T3_SCHEDULER={_default_scheduler!r} is not one of "
+        f"{SCHEDULERS}")
+
+# Resolved lazily to avoid a circular import (primitives imports engine).
+_Timeout = None
+_AllOf = None
+_AnyOf = None
+
+
+def default_scheduler() -> str:
+    """The scheduler new :class:`Environment` instances use."""
+    return _default_scheduler
+
+
+def set_default_scheduler(name: str) -> str:
+    """Set the process-wide default scheduler; returns the previous one.
+
+    The smoke gate and the equivalence tests flip this around otherwise
+    identical runs to prove the optimized loop transparent.
+    """
+    global _default_scheduler
+    if name not in SCHEDULERS:
+        raise ValueError(f"unknown scheduler {name!r}; pick from {SCHEDULERS}")
+    previous = _default_scheduler
+    _default_scheduler = name
+    return previous
 
 
 class SimulationError(RuntimeError):
@@ -23,6 +75,10 @@ class BaseEvent:
     Events carry a ``value`` that is delivered to any process yielding on
     them; if the value is an exception instance flagged via :meth:`fail`,
     it is *thrown* into the waiting process instead.
+
+    ``_callbacks`` is ``None`` once the event has fired — the sentinel
+    doubles as the "late subscription" signal and saves a list swap on
+    every firing.
     """
 
     __slots__ = ("env", "_callbacks", "_value", "_ok", "_triggered", "_fired",
@@ -30,7 +86,7 @@ class BaseEvent:
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self._callbacks: list[Callable[["BaseEvent"], None]] = []
+        self._callbacks: Optional[list] = []
         self._value: Any = None
         self._ok = True
         self._triggered = False
@@ -55,11 +111,12 @@ class BaseEvent:
         return self._ok
 
     def add_callback(self, fn: Callable[["BaseEvent"], None]) -> None:
-        if self._fired:
+        callbacks = self._callbacks
+        if callbacks is None:
             # Late subscription: run immediately (still at current sim time).
             fn(self)
             return
-        self._callbacks.append(fn)
+        callbacks.append(fn)
 
     def succeed(self, value: Any = None, delay: float = 0.0) -> "BaseEvent":
         """Trigger the event successfully, delivering ``value``."""
@@ -67,8 +124,12 @@ class BaseEvent:
             raise SimulationError(f"{self!r} has already been triggered")
         self._triggered = True
         self._value = value
-        self._ok = True
-        self.env._schedule(self, delay)
+        env = self.env
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule an event {delay} ns in the past")
+        env._seq += 1
+        heappush(env._heap, (env._now + delay, env._seq, self))
         return self
 
     def fail(self, exc: BaseException, delay: float = 0.0) -> "BaseEvent":
@@ -85,9 +146,20 @@ class BaseEvent:
 
     def _fire(self) -> None:
         self._fired = True
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(self)
+        callbacks = self._callbacks
+        self._callbacks = None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def _abandon(self) -> None:
+        """Hook: the last waiter detached before the event fired.
+
+        :meth:`Process.interrupt` calls this when removing its resume
+        callback leaves the event without subscribers, so stateful events
+        (queued resource grants) can cancel themselves instead of leaking.
+        The base event has no state to reclaim.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "fired" if self._fired else ("triggered" if self._triggered else "pending")
@@ -102,18 +174,24 @@ class Process(BaseEvent):
     simply by yielding the other process.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_waiting_on", "name")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         super().__init__(env)
         self._generator = generator
-        self._waiting_on: Optional[BaseEvent] = None
+        # Bound methods cached once: the resume path runs per fired event.
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         env._live_processes.add(self)
         # Kick off on the next event-loop iteration at the current time.
+        # The boot event is tracked as _waiting_on so interrupt() can
+        # detach from it — a just-created process would otherwise be
+        # resumed normally *and* thrown Interrupt (double-step bug).
         boot = BaseEvent(env)
-        boot.add_callback(self._resume)
+        boot._callbacks.append(self._resume)
         boot.succeed()
+        self._waiting_on: Optional[BaseEvent] = boot
 
     @property
     def is_alive(self) -> bool:
@@ -127,22 +205,54 @@ class Process(BaseEvent):
             return
         target = self._waiting_on
         if target is not None:
-            # Detach from whatever we were waiting on.
-            try:
-                target._callbacks.remove(self._resume)
-            except ValueError:
-                pass
+            # Detach from whatever we were waiting on (including the boot
+            # event of a never-resumed process).
+            callbacks = target._callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+                if not callbacks and not target._fired:
+                    # Nobody is listening any more: let stateful events
+                    # (queued resource grants) cancel themselves.
+                    target._abandon()
             self._waiting_on = None
         kick = BaseEvent(self.env)
-        kick.add_callback(lambda ev: self._step(throw=Interrupt(cause)))
+        kick._callbacks.append(lambda ev: self._step(throw=Interrupt(cause)))
         kick.succeed()
 
     def _resume(self, event: BaseEvent) -> None:
+        # The merged resume/step fast path: one call per fired event.
+        # Mirrors _step(); keep the two in lockstep.
         self._waiting_on = None
-        if event.ok:
-            self._step(send=event.value)
-        else:
-            self._step(throw=event.value)
+        if self._triggered:
+            return
+        try:
+            if event._ok:
+                target = self._send(event._value)
+            else:
+                target = self._throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if self._callbacks:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(target, BaseEvent):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield events (Timeout, Event, Process, resource requests...)"
+            )
+        callbacks = target._callbacks
+        if callbacks is None:
+            # Already fired: resume immediately (late subscription).
+            self._resume(target)
+            return
+        self._waiting_on = target
+        callbacks.append(self._resume)
 
     def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
         if self._triggered:
@@ -172,10 +282,18 @@ class Process(BaseEvent):
 class Environment:
     """The simulation clock plus the pending-event heap."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0,
+                 scheduler: Optional[str] = None):
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, BaseEvent]] = []
         self._seq = 0
+        if scheduler is None:
+            scheduler = _default_scheduler
+        elif scheduler not in SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; pick from {SCHEDULERS}")
+        #: which event loop run() uses; see the module docstring.
+        self.scheduler = scheduler
         self.active_processes = 0
         #: optional repro.analysis.trace.TraceRecorder; components record
         #: execution spans into it when set.
@@ -210,22 +328,28 @@ class Environment:
         return BaseEvent(self)
 
     def timeout(self, delay: float, value: Any = None) -> BaseEvent:
-        from repro.sim.primitives import Timeout
-
-        return Timeout(self, delay, value)
+        global _Timeout
+        if _Timeout is None:
+            from repro.sim.primitives import Timeout as _Timeout_cls
+            _Timeout = _Timeout_cls
+        return _Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
 
     def all_of(self, events: Iterable[BaseEvent]) -> BaseEvent:
-        from repro.sim.primitives import AllOf
-
-        return AllOf(self, list(events))
+        global _AllOf
+        if _AllOf is None:
+            from repro.sim.primitives import AllOf as _AllOf_cls
+            _AllOf = _AllOf_cls
+        return _AllOf(self, list(events))
 
     def any_of(self, events: Iterable[BaseEvent]) -> BaseEvent:
-        from repro.sim.primitives import AnyOf
-
-        return AnyOf(self, list(events))
+        global _AnyOf
+        if _AnyOf is None:
+            from repro.sim.primitives import AnyOf as _AnyOf_cls
+            _AnyOf = _AnyOf_cls
+        return _AnyOf(self, list(events))
 
     # -- scheduling & the main loop -------------------------------------------
 
@@ -233,7 +357,7 @@ class Environment:
         if delay < 0:
             raise SimulationError(f"cannot schedule an event {delay} ns in the past")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        heappush(self._heap, (self._now + delay, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')``."""
@@ -243,7 +367,7 @@ class Environment:
         """Fire the single next event (watchdog limits enforced here)."""
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
-        when, _seq, event = heapq.heappop(self._heap)
+        when, _seq, event = heappop(self._heap)
         self._now = when
         self.events_fired += 1
         if self.max_events is not None and self.events_fired > self.max_events:
@@ -307,6 +431,80 @@ class Environment:
         """
         if until is not None and until < self._now:
             raise SimulationError("run(until=...) target is in the past")
+        if self.scheduler == "legacy":
+            return self._run_legacy(until)
+        if until is None and self.max_events is None and self.max_sim_ns is None:
+            return self._run_fast()
+        return self._run_bounded(until)
+
+    def _run_fast(self) -> float:
+        """The unbounded hot loop: no watchdog, no time limit.
+
+        Pop/fire is inlined (no step() or _fire() calls per event) with
+        the heap, heappop, and the fired counter localized.  Identical
+        firing order to the legacy loop by construction: both consume the
+        same ``(time, seq, event)`` heap.
+        """
+        heap = self._heap
+        pop = heappop
+        fired = self.events_fired
+        try:
+            while heap:
+                when, _seq, event = pop(heap)
+                self._now = when
+                fired += 1
+                # Inlined BaseEvent._fire().
+                event._fired = True
+                callbacks = event._callbacks
+                event._callbacks = None
+                if callbacks:
+                    for fn in callbacks:
+                        fn(event)
+        finally:
+            self.events_fired = fired
+        return self._now
+
+    def _run_bounded(self, until: Optional[float]) -> float:
+        """The limited hot loop: honors ``until`` and the watchdog.
+
+        Same inlined pop/fire cycle as :meth:`_run_fast`, with the limit
+        checks of :meth:`step` performed per event (the counter is kept
+        on ``self`` so a watchdog raise carries an accurate dump).
+        """
+        heap = self._heap
+        pop = heappop
+        max_events = self.max_events
+        max_sim_ns = self.max_sim_ns
+        while heap:
+            when = heap[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            when, _seq, event = pop(heap)
+            self._now = when
+            self.events_fired += 1
+            if max_events is not None and self.events_fired > max_events:
+                raise SimulationError(
+                    f"watchdog: {self.events_fired} events fired without the "
+                    f"simulation finishing (limit {max_events})\n"
+                    + self.diagnostic_dump())
+            if max_sim_ns is not None and when > max_sim_ns:
+                raise SimulationError(
+                    f"watchdog: simulated time reached {when:.1f} ns "
+                    f"(limit {max_sim_ns:.1f} ns)\n" + self.diagnostic_dump())
+            event._fired = True
+            callbacks = event._callbacks
+            event._callbacks = None
+            if callbacks:
+                for fn in callbacks:
+                    fn(event)
+        if until is not None:
+            self._now = until
+        return self._now
+
+    def _run_legacy(self, until: Optional[float]) -> float:
+        """The reference loop: one :meth:`step` per event, as shipped
+        before the hot-path rewrite.  Kept for the transparency gates."""
         while self._heap:
             when = self._heap[0][0]
             if until is not None and when > until:

@@ -15,6 +15,7 @@ are written in:
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Iterable, List, Optional
 
 from repro.sim.engine import BaseEvent, Environment, SimulationError
@@ -32,70 +33,152 @@ class Interrupt(Exception):
 
 
 class Timeout(BaseEvent):
-    """An event that fires ``delay`` nanoseconds after creation."""
+    """An event that fires ``delay`` nanoseconds after creation.
+
+    Timeouts are the single most-constructed event type (every service
+    interval in the simulator is one), so construction writes the slots
+    and pushes onto the schedule directly instead of going through
+    ``BaseEvent.__init__`` + ``succeed``.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: Environment, delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        super().__init__(env)
+        self.env = env
+        self._callbacks = []
+        self._value = value
+        self._ok = True
+        self._triggered = True
+        self._fired = False
         self.delay = delay
-        self.succeed(value, delay=delay)
+        env._seq += 1
+        heappush(env._heap, (env._now + delay, env._seq, self))
 
 
 class AllOf(BaseEvent):
-    """Fires when every child event has fired; value is the list of values."""
+    """Fires when every child event has fired; value is the list of values.
 
-    __slots__ = ("_remaining", "_values")
+    On the first child *failure* the composite fails and detaches its
+    callbacks from every still-pending child, so a long-lived child event
+    does not accumulate dead closures for the rest of the run.
+    """
+
+    __slots__ = ("_remaining", "_values", "_children")
 
     def __init__(self, env: Environment, events: List[BaseEvent]):
         super().__init__(env)
         self._values: list[Any] = [None] * len(events)
         self._remaining = len(events)
+        self._children: list = []
         if not events:
             self.succeed([])
             return
         for index, event in enumerate(events):
-            event.add_callback(self._make_child_callback(index))
+            callback = self._make_child_callback(index)
+            self._children.append((event, callback))
+            event.add_callback(callback)
 
     def _make_child_callback(self, index: int):
         def _on_child(event: BaseEvent) -> None:
-            if self.triggered:
+            if self._triggered:
                 return
-            if not event.ok:
+            if not event._ok:
                 self.fail(event.value)
+                self._detach_pending()
                 return
             self._values[index] = event.value
             self._remaining -= 1
             if self._remaining == 0:
                 self.succeed(list(self._values))
+                self._children = []
 
         return _on_child
 
+    def _detach_pending(self) -> None:
+        """Remove our callbacks from children that have not fired yet."""
+        children, self._children = self._children, []
+        for child, callback in children:
+            callbacks = child._callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(callback)
+                except ValueError:
+                    pass
+
 
 class AnyOf(BaseEvent):
-    """Fires when the first child fires; value is ``(index, value)``."""
+    """Fires when the first child fires; value is ``(index, value)``.
 
-    __slots__ = ()
+    The winning child detaches the composite's callbacks from every
+    losing child, so losers (which may live arbitrarily long) do not
+    carry dead closures that every later subscriber scan walks over.
+    """
+
+    __slots__ = ("_children",)
 
     def __init__(self, env: Environment, events: List[BaseEvent]):
         super().__init__(env)
         if not events:
             raise SimulationError("AnyOf requires at least one event")
+        self._children: list = []
         for index, event in enumerate(events):
-            event.add_callback(self._make_child_callback(index))
+            callback = self._make_child_callback(index)
+            self._children.append((event, callback))
+            event.add_callback(callback)
 
     def _make_child_callback(self, index: int):
         def _on_child(event: BaseEvent) -> None:
-            if self.triggered:
+            if self._triggered:
                 return
-            if not event.ok:
+            if not event._ok:
                 self.fail(event.value)
-                return
-            self.succeed((index, event.value))
+            else:
+                self.succeed((index, event.value))
+            self._detach_losers(event)
 
         return _on_child
+
+    def _detach_losers(self, winner: BaseEvent) -> None:
+        children, self._children = self._children, []
+        for child, callback in children:
+            if child is winner:
+                continue
+            callbacks = child._callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(callback)
+                except ValueError:
+                    pass
+
+
+class _ResourceGrant(BaseEvent):
+    """The event returned by :meth:`Resource.request`.
+
+    Knows its resource so an interrupted waiter can cancel the request:
+    a queued grant removes itself from the wait queue; a granted-but-not-
+    yet-collected grant returns its unit.  Without cancellation the unit
+    would be handed to a waiter that no longer exists, permanently
+    shrinking the resource and deadlocking everyone behind it.
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: Environment, resource: "Resource"):
+        super().__init__(env)
+        self.resource = resource
+
+    def _abandon(self) -> None:
+        if self._triggered:
+            # The unit was granted but the waiter vanished before
+            # collecting it: hand it back (or straight to the next waiter).
+            self.resource.release()
+        else:
+            try:
+                self.resource._waiters.remove(self)
+            except ValueError:
+                pass
 
 
 class Resource:
@@ -114,7 +197,7 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self._in_use = 0
-        self._waiters: deque[BaseEvent] = deque()
+        self._waiters: deque[_ResourceGrant] = deque()
 
     @property
     def in_use(self) -> int:
@@ -129,7 +212,7 @@ class Resource:
         return len(self._waiters)
 
     def request(self) -> BaseEvent:
-        grant = BaseEvent(self.env)
+        grant = _ResourceGrant(self.env, self)
         if self._in_use < self.capacity:
             self._in_use += 1
             grant.succeed(self)
@@ -240,15 +323,22 @@ class Pipe:
         self.stall_time = 0.0
 
     def transfer(self, nbytes: float) -> BaseEvent:
-        """Start a transfer; returns an event firing on arrival."""
+        """Start a transfer; returns an event firing on arrival.
+
+        The passive seams (faults / obs / trace) are resolved once into
+        locals; a run with none attached pays three ``is None`` checks
+        and nothing else.
+        """
         if nbytes < 0:
             raise SimulationError("cannot transfer negative bytes")
-        start = max(self.env.now, self._wire_free_at)
-        faults = self.env.faults
+        env = self.env
+        now = env._now
+        endpoints = self.endpoints
+        start = now if now >= self._wire_free_at else self._wire_free_at
+        faults = env.faults
         stall = 0.0
-        if faults is not None and self.endpoints is not None:
-            stall = faults.transfer_stall(
-                self.endpoints[0], self.endpoints[1], self.env.now)
+        if faults is not None and endpoints is not None:
+            stall = faults.transfer_stall(endpoints[0], endpoints[1], now)
             if stall:
                 start += stall
                 self.stall_time += stall
@@ -256,22 +346,23 @@ class Pipe:
         self._wire_free_at = start + serialization
         self.bytes_sent += nbytes
         self.busy_time += serialization
-        if self.env.obs is not None:
-            src = self.endpoints[0] if self.endpoints is not None else -1
-            scope = self.env.obs.scope(src, "link")
+        obs = env.obs
+        if obs is not None:
+            src = endpoints[0] if endpoints is not None else -1
+            scope = obs.scope(src, "link")
             scope.span(self.name, start, start + serialization)
             scope.count(f"{self.name}.bytes", nbytes)
             if stall:
                 scope.count(f"{self.name}.stall_ns", stall)
-        if self.env.trace is not None:
-            self.env.trace.span(
+        trace = env.trace
+        if trace is not None:
+            trace.span(
                 name=f"{nbytes / 1024:.0f}KiB", category="link",
                 start_ns=start, end_ns=start + serialization,
                 track=self.name, group="interconnect",
                 args={"bytes": nbytes})
-        done = BaseEvent(self.env)
-        arrival_delay = (start - self.env.now) + serialization + self.latency
-        done.succeed(nbytes, delay=arrival_delay)
+        done = BaseEvent(env)
+        done.succeed(nbytes, delay=(start - now) + serialization + self.latency)
         return done
 
     def utilization(self, elapsed_ns: float) -> float:

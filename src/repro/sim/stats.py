@@ -84,23 +84,68 @@ class UtilizationTracker:
     """Tracks busy time of a unit with possibly-overlapping busy intervals.
 
     Overlapping busy spans are merged, so utilization never exceeds 1.0.
+    Spans may arrive in any time order: the tracker keeps a sorted list of
+    disjoint merged intervals, with an O(1) fast path for the common
+    in-order case.  (A previous version kept only a high-water mark, which
+    silently discarded the non-overlapping part of any span that started
+    before an already-recorded end — out-of-order reporters undercounted.)
     """
 
     def __init__(self):
-        self._busy_until = 0.0
+        #: sorted, pairwise-disjoint ``[start, end]`` spans.
+        self._intervals: List[List[float]] = []
         self._busy_time = 0.0
         self._first_busy: Optional[float] = None
 
     def busy(self, start: float, duration: float) -> None:
         if duration < 0:
             raise ValueError("busy duration must be >= 0")
-        if self._first_busy is None:
+        if self._first_busy is None or start < self._first_busy:
             self._first_busy = start
         end = start + duration
-        effective_start = max(start, self._busy_until)
-        if end > effective_start:
-            self._busy_time += end - effective_start
-        self._busy_until = max(self._busy_until, end)
+        intervals = self._intervals
+        if not intervals:
+            if end > start:
+                intervals.append([start, end])
+                self._busy_time += end - start
+            return
+        last = intervals[-1]
+        if start >= last[1]:
+            # In-order: the span begins at or after the latest recorded end.
+            if end > start:
+                intervals.append([start, end])
+                self._busy_time += end - start
+            return
+        if start >= last[0]:
+            # Overlaps only the most recent span: extend it.
+            if end > last[1]:
+                self._busy_time += end - last[1]
+                last[1] = end
+            return
+        # Out-of-order: merge into the sorted disjoint list (rare, O(n)).
+        # The busy-time delta is the span's length minus its overlap with
+        # existing coverage; overlaps are computed against the original
+        # span since existing intervals are pairwise disjoint.
+        delta = end - start
+        new_start, new_end = start, end
+        keep: List[List[float]] = []
+        for interval in intervals:
+            if interval[1] < new_start or interval[0] > new_end:
+                keep.append(interval)
+                continue
+            overlap = min(end, interval[1]) - max(start, interval[0])
+            if overlap > 0:
+                delta -= overlap
+            if interval[0] < new_start:
+                new_start = interval[0]
+            if interval[1] > new_end:
+                new_end = interval[1]
+        index = 0
+        while index < len(keep) and keep[index][0] < new_start:
+            index += 1
+        keep.insert(index, [new_start, new_end])
+        self._intervals = keep
+        self._busy_time += delta
 
     @property
     def busy_time(self) -> float:

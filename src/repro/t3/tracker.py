@@ -87,6 +87,10 @@ class Tracker:
         self._sets: List[Dict[RegionKey, TrackerEntry]] = [
             {} for _ in range(config.n_entries)
         ]
+        #: live-entry count maintained incrementally — ``live_regions`` is
+        #: read on every obs gauge update and summing 256 sets there is a
+        #: measurable fraction of profiled runs.
+        self._live = 0
         self._on_complete: List[Callable[[RegionKey], None]] = []
         self.stats = TrackerStats()
         #: issue time of the request currently being credited; lets the
@@ -124,6 +128,7 @@ class Tracker:
                     "than the Tracker was sized for"
                 )
         entry_set[key] = TrackerEntry(key=key, expected_bytes=expected)
+        self._live += 1
         self.stats.regions_programmed += 1
         self.stats.peak_ways_used = max(
             self.stats.peak_ways_used, len(entry_set))
@@ -143,6 +148,7 @@ class Tracker:
             return
         victim = victims[0]
         del self._set_for(victim[0])[victim]
+        self._live -= 1
         self.stats.forced_evictions += 1
         if self.env is not None and self.env.faults is not None:
             self.env.faults.record_eviction(self.gpu_id, victim)
@@ -154,7 +160,7 @@ class Tracker:
 
     def observe(self, request: MemRequest) -> None:
         """Memory-controller hook: account a serviced write/update."""
-        if request.kind not in (AccessKind.WRITE, AccessKind.UPDATE):
+        if request.kind is AccessKind.READ:
             return
         if request.wg_id is None:
             self.stats.untracked_updates += 1
@@ -199,6 +205,7 @@ class Tracker:
             self.env.invariants.on_tracker_credit(self.gpu_id, entry, nbytes)
         if entry.complete:
             del entry_set[key]
+            self._live -= 1
             self.stats.regions_completed += 1
             if self.env is not None and self.env.obs is not None:
                 scope = self.env.obs.scope(self.gpu_id, "tracker")
@@ -223,7 +230,7 @@ class Tracker:
 
     @property
     def live_regions(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return self._live
 
     def pending_regions(self) -> List[RegionKey]:
         return sorted(key for s in self._sets for key in s)

@@ -3,6 +3,8 @@ the checked-in results/BENCH_0003.json trajectory point."""
 
 import json
 import pathlib
+import subprocess
+import sys
 
 import pytest
 
@@ -36,6 +38,7 @@ def payload(**overrides):
         "captured_at": "2026-08-07T00:00:00+00:00",
         "host": {"platform": "linux", "python": "3.11"},
         "wall_clock_s": 10.0,
+        "cases_per_second": 0.4,
         "experiments": [experiment()],
     }
     base.update(overrides)
@@ -52,6 +55,7 @@ def test_build_payload_round_trips():
         captured_at="2026-08-07T00:00:00+00:00",
         host={"platform": "linux"},
         wall_clock_s=1.0,
+        cases_per_second=1.0,
         experiments=[experiment()],
     )
     assert built["schema"] == BENCH_SCHEMA
@@ -61,7 +65,8 @@ def test_build_payload_round_trips():
 def test_build_payload_raises_on_invalid():
     with pytest.raises(ValueError, match="mode"):
         build_payload(mode="warp", captured_at="t", host={},
-                      wall_clock_s=1.0, experiments=[experiment()])
+                      wall_clock_s=1.0, cases_per_second=1.0,
+                      experiments=[experiment()])
 
 
 def test_non_dict_payload_rejected():
@@ -94,6 +99,15 @@ def test_wall_clock_must_be_positive_number():
     assert validate(payload(wall_clock_s="3s")) != []
 
 
+def test_cases_per_second_must_be_positive_number():
+    assert validate(payload(cases_per_second=0)) != []
+    assert validate(payload(cases_per_second=-1.0)) != []
+    assert validate(payload(cases_per_second=True)) != []
+    missing = payload()
+    del missing["cases_per_second"]
+    assert any("cases_per_second" in e for e in validate(missing))
+
+
 def test_experiments_must_be_non_empty():
     assert validate(payload(experiments=[])) != []
     assert validate(payload(experiments="none")) != []
@@ -121,11 +135,28 @@ def test_overlap_efficiency_bounded_to_unit_interval():
         experiment(overlap_efficiency={"T3-MCA": True})])) != []
 
 
+def test_smoke_capture_populates_cases_per_second(tmp_path):
+    """End-to-end: a smoke bench capture records a positive throughput
+    (the cases/second figure of merit) and validates under schema v2."""
+    out = tmp_path / "bench.json"
+    subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "bench.py"),
+         "--smoke", "--out", str(out)],
+        check=True, capture_output=True, timeout=300)
+    data = json.loads(out.read_text())
+    assert validate(data) == []
+    assert data["mode"] == "smoke"
+    assert data["cases_per_second"] > 0
+    assert data["cases_per_second"] == pytest.approx(
+        len(data["experiments"]) / data["wall_clock_s"], rel=0.05)
+
+
 def test_checked_in_trajectory_point_is_valid():
     path = REPO_ROOT / "results" / "BENCH_0003.json"
     data = json.loads(path.read_text())
     assert validate(data) == []
     assert data["mode"] == "fast"
+    assert data["cases_per_second"] > 0
     assert data["experiments"], "trajectory point has no experiments"
     for entry in data["experiments"]:
         assert 0.0 <= entry["overlap_efficiency"]["T3-MCA"] <= 1.0

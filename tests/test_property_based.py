@@ -19,7 +19,7 @@ from repro.config import GEMMKernelConfig, MemoryConfig, TrackerConfig
 from repro.gpu.wavefront import GEMMShape, TileGrid, split_evenly
 from repro.memory.cache import estimate_gemm_traffic
 from repro.memory.request import AccessKind, MemRequest, Stream
-from repro.sim.stats import geomean, weighted_mean
+from repro.sim.stats import UtilizationTracker, geomean, weighted_mean
 from repro.t3.address_map import AddressSpaceConfig, RouteKind
 from repro.t3.tracker import Tracker
 
@@ -276,6 +276,20 @@ def test_geomean_homogeneous(scale, values):
     scaled = [v * scale for v in values]
     assert geomean(scaled) == pytest.approx(geomean(values) * scale,
                                             rel=1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(spans=st.lists(st.tuples(st.integers(0, 120), st.integers(0, 25)),
+                      max_size=25))
+def test_utilization_tracker_matches_interval_union(spans):
+    """Busy time equals the measure of the union of spans, regardless of
+    arrival order (integer spans make the union exactly countable)."""
+    tracker = UtilizationTracker()
+    covered = set()
+    for start, duration in spans:
+        tracker.busy(start, duration)
+        covered.update(range(start, start + duration))
+    assert tracker.busy_time == len(covered)
 
 
 # ------------------------------------------------ collective plan cross-rank

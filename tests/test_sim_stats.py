@@ -147,6 +147,45 @@ def test_utilization_zero_elapsed():
     assert u.utilization(0) == 0.0
 
 
+def test_utilization_out_of_order_disjoint_span_counts():
+    # Regression: a span entirely before the recorded high-water mark
+    # used to contribute zero busy time even though it overlapped
+    # nothing.  The tracker merges, so both spans count in full.
+    u = UtilizationTracker()
+    u.busy(100, 10)
+    u.busy(0, 10)
+    assert u.busy_time == pytest.approx(20)
+
+
+def test_utilization_out_of_order_partial_overlap():
+    u = UtilizationTracker()
+    u.busy(50, 10)   # [50, 60)
+    u.busy(45, 10)   # [45, 55) — only [45, 50) is new
+    assert u.busy_time == pytest.approx(15)
+
+
+def test_utilization_out_of_order_span_bridging_gap():
+    u = UtilizationTracker()
+    u.busy(0, 10)    # [0, 10)
+    u.busy(20, 10)   # [20, 30)
+    u.busy(5, 20)    # [5, 25) — fills the gap exactly once
+    assert u.busy_time == pytest.approx(30)
+
+
+def test_utilization_out_of_order_contained_span_adds_nothing():
+    u = UtilizationTracker()
+    u.busy(0, 100)
+    u.busy(10, 5)    # fully covered
+    assert u.busy_time == pytest.approx(100)
+
+
+def test_utilization_zero_duration_span_is_noop():
+    u = UtilizationTracker()
+    u.busy(10, 0)
+    u.busy(5, 0)
+    assert u.busy_time == 0.0
+
+
 # -------------------------------------------------------------- IntervalStats
 
 def test_interval_stats_duration_and_span():

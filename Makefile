@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint check smoke-cache smoke-faults smoke-obs smoke-engine \
-	bench profile results clean-cache
+	smoke-chaos bench profile results clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,7 +17,7 @@ lint:
 	fi
 
 # Everything CI runs: the tier-1 suite plus lint and the smoke tests.
-check: test lint smoke-cache smoke-faults smoke-obs smoke-engine
+check: test lint smoke-cache smoke-faults smoke-obs smoke-engine smoke-chaos
 
 # Cache smoke test: figure16 twice; the second run must hit the persistent
 # sweep cache (zero simulations), be much faster, and render identically.
@@ -39,6 +39,12 @@ smoke-obs:
 # reference scheduler.
 smoke-engine:
 	$(PYTHON) scripts/smoke_engine.py
+
+# Resilience smoke test: fault-free byte-identity with the runtime
+# attached vs absent, dropped-completion recovery, ladder fallback, and
+# a seeded mini chaos campaign (100% resilient survival).
+smoke-chaos:
+	$(PYTHON) scripts/smoke_chaos.py
 
 # Capture a bench trajectory point (results/BENCH_0003.json) and
 # validate it against the schema.

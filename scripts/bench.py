@@ -5,8 +5,9 @@ Simulates a small set of sub-layer cases with telemetry attached and
 records, per case: host wall-clock, speedups over Sequential, and the
 overlap efficiency (fraction of communication hidden under compute) of
 every simulated configuration — plus an aggregate ``cases_per_second``
-throughput metric (schema v2), the figure of merit for engine hot-path
-work.  The payload follows the schema in
+throughput metric (schema v2) and the resilience campaign's survival
+rate / MTTR (schema v3), so robustness regressions surface in the bench
+trajectory just like performance ones.  The payload follows the schema in
 :mod:`repro.obs.bench` and lands in ``results/BENCH_0003.json`` by
 default — the checked-in trajectory point CI validates on every push.
 
@@ -34,6 +35,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.config import table1_system                      # noqa: E402
+from repro.experiments import chaos as chaos_campaign       # noqa: E402
 from repro.experiments import sublayer_sweep                # noqa: E402
 from repro.experiments.profile import filter_cases          # noqa: E402
 from repro.models import zoo                                # noqa: E402
@@ -88,6 +90,16 @@ def capture(mode: str) -> dict:
     cases_per_second = len(experiments) / elapsed if elapsed > 0 else 0.0
     print(f"  throughput: {cases_per_second:.3f} cases/s "
           f"({len(experiments)} case(s) in {elapsed:.2f}s)")
+    # Robustness metrics: a seeded chaos slice (one seed per campaign
+    # cell in smoke mode, the full fast campaign otherwise).
+    chaos_started = time.time()
+    campaign = chaos_campaign.run(seeds=1 if mode == "smoke" else None,
+                                  fast=True)
+    chaos_summary = campaign.summary()
+    print(f"  chaos: {chaos_summary['scenarios']} scenarios, survival "
+          f"{chaos_summary['survival_rate']:.0%} vs baseline "
+          f"{chaos_summary['baseline_survival_rate']:.0%} "
+          f"({time.time() - chaos_started:.2f}s)")
     return bench.build_payload(
         mode=mode,
         captured_at=datetime.datetime.now(datetime.timezone.utc)
@@ -99,6 +111,7 @@ def capture(mode: str) -> dict:
         },
         wall_clock_s=round(elapsed, 3),
         cases_per_second=round(cases_per_second, 4),
+        chaos=chaos_summary,
         experiments=experiments,
     )
 
@@ -116,9 +129,12 @@ def check(path: pathlib.Path) -> int:
             print(f"  - {error}")
         return 1
     n = len(payload["experiments"])
+    chaos_block = payload["chaos"]
     print(f"OK {path}: schema v{payload['schema_version']}, "
           f"mode={payload['mode']}, {n} experiment(s), "
-          f"{payload['cases_per_second']} cases/s")
+          f"{payload['cases_per_second']} cases/s, chaos survival "
+          f"{chaos_block['survival_rate']:.0%} over "
+          f"{chaos_block['scenarios']} scenarios")
     return 0
 
 

@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Smoke test for the resilience layer (the `make smoke-chaos` target).
+
+The resilience runtime's contract is *dormant-until-fault*: attaching it
+must never change a fault-free simulation, and a faulty one must recover
+instead of dying.  Four end-to-end checks on cheap TP=4 cases:
+
+1. **Fault-free byte-identity** — ``simulate_case`` with ``resilience``
+   enabled returns bit-identical times and traffic to a plain run, and a
+   fused GEMM-RS fires exactly the same number of engine events (the
+   runtime registers watches but schedules nothing until armed);
+2. **Drop recovery** — a dropped DMA completion kills the bare run
+   (diagnosed ``SimulationError``) but the resilient run finishes, with
+   at least one re-issued completion on record;
+3. **Ladder escalation** — with in-run recovery budgets zeroed, the
+   scenario walks RUN -> RETRY -> FALLBACK and still survives via the
+   plan-driven Sequential rung;
+4. **Mini campaign** — a seeded slice of the chaos campaign survives
+   100% with resilience, kills at least one no-response baseline, and
+   reports zero invariant violations / watchdog hangs.
+
+Exit status 0 on success; prints a diagnosis and exits 1 otherwise.
+"""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import table1_system                      # noqa: E402
+from repro.experiments import chaos, sublayer_sweep         # noqa: E402
+from repro.experiments.common import _fresh_topology, scaled_shape  # noqa: E402
+from repro.faults import FaultPlan                          # noqa: E402
+from repro.models import zoo                                # noqa: E402
+from repro.resilience import (                              # noqa: E402
+    LadderRung,
+    ResiliencePolicy,
+)
+from repro.sim.engine import SimulationError                # noqa: E402
+from repro.t3.fusion import FusedGEMMRS                     # noqa: E402
+
+
+def case():
+    return zoo.t_nlg().sublayer("OP", 4)
+
+
+def simulate(resilience=None):
+    return sublayer_sweep.simulate_case(
+        case(), sublayer_sweep.FAST_SCALE, table1_system(n_gpus=4),
+        ["Sequential", "T3-MCA"], resilience=resilience)
+
+
+def fused_run(resilience=False, faults=None):
+    """One fused GEMM-RS run; returns (env, result, runtime)."""
+    sub = case()
+    system = table1_system(n_gpus=sub.tp)
+    tiles_n = max(1, sub.gemm.n // system.gemm.macro_tile_n)
+    rows_needed = -(-sub.tp // tiles_n)  # ceil
+    shape = scaled_shape(sub.gemm, sublayer_sweep.FAST_SCALE,
+                         min_m=rows_needed * system.gemm.macro_tile_m)
+    env, topo = _fresh_topology(system, "mca", faults=faults,
+                                resilience=resilience)
+    result = FusedGEMMRS(topo, shape, calibrate_mca=True).run()
+    return env, result, env.resilience
+
+
+def check_identity(failures):
+    plain = simulate()
+    resilient = simulate(resilience=True)
+    if resilient.times != plain.times or \
+            resilient.traffic != plain.traffic:
+        failures.append("resilience changed fault-free results: "
+                        f"{resilient.times} vs {plain.times}")
+        return
+    env_off, result_off, _ = fused_run(resilience=False)
+    env_on, result_on, runtime = fused_run(resilience=True)
+    if env_off.events_fired != env_on.events_fired:
+        failures.append(
+            "resilience changed the fault-free engine event count: "
+            f"{env_on.events_fired} vs {env_off.events_fired}")
+    elif result_off.duration != result_on.duration:
+        failures.append(
+            "resilience changed the fault-free fused duration: "
+            f"{result_on.duration} vs {result_off.duration}")
+    elif runtime.armed or runtime.recoveries:
+        failures.append("the runtime armed itself on a fault-free run")
+    else:
+        print(f"OK identity: {env_off.events_fired} events and "
+              f"{result_off.duration:.0f} ns with and without resilience")
+
+
+def check_drop_recovery(failures):
+    plan = FaultPlan.dropped_dma(gpu_id=1, max_events=1, seed=7)
+    try:
+        fused_run(resilience=False, faults=plan)
+        failures.append("a dropped DMA completion did not kill the "
+                        "bare run")
+        return
+    except SimulationError:
+        pass
+    try:
+        _, result, runtime = fused_run(resilience=True, faults=plan)
+    except SimulationError as exc:
+        failures.append("the resilient run died on a dropped completion: "
+                        + str(exc).splitlines()[0])
+        return
+    if runtime.dma_reissues < 1:
+        failures.append("the resilient run survived without re-issuing "
+                        "the dropped completion")
+        return
+    print(f"OK recovery: bare run dies, resilient run finishes in "
+          f"{result.duration:.0f} ns ({runtime.summary()})")
+
+
+def check_ladder(failures):
+    """Zeroed in-run budgets force the scenario down the ladder."""
+    crippled = ResiliencePolicy(max_reissues_per_command=0,
+                                max_restores_per_region=0,
+                                max_deadline_extensions=0)
+    scenario = chaos.ChaosScenario(
+        index=0, kind="dropped-dma", severity="severe",
+        topology=chaos.TOPOLOGIES[0], scheduler="T3-MCA", seed=0,
+        plan=FaultPlan.dropped_dma(gpu_id=1, max_events=2, seed=11),
+        detail="smoke ladder walk")
+    system = table1_system(n_gpus=scenario.topology.n_gpus)
+
+    # Monkey-patch-free: re-run the ladder by hand with the crippled
+    # policy, mirroring chaos.run_scenario's walk.
+    ladder = chaos.ScenarioLadder(max_retries=1)
+    current = chaos._attempt_fused(scenario, system, resilience=crippled)
+    ladder.settled(LadderRung.RUN, current.survived)
+    rung = LadderRung.RUN
+    while not current.survived:
+        repair = chaos._maybe_repair(current)
+        rung = ladder.next_rung(can_repair=repair is not None)
+        if rung is LadderRung.DEAD:
+            break
+        if rung is LadderRung.RETRY:
+            current = chaos._attempt_fused(
+                scenario, system,
+                resilience=crippled.escalated(ladder.retry_attempt))
+        elif rung is LadderRung.REPAIR:
+            current = chaos._attempt_fused(scenario, system,
+                                           resilience=crippled,
+                                           plan_override=repair.plan)
+        else:
+            current = chaos.Attempt(
+                ok=True,
+                duration=chaos._plan_driven_time(scenario, system))
+        ladder.settled(rung, current.survived)
+    if not current.survived:
+        failures.append("the crippled-policy scenario died instead of "
+                        "falling back")
+    elif rung is not LadderRung.FALLBACK:
+        failures.append(f"expected the FALLBACK rung, got {rung.value} "
+                        f"(history {ladder.history})")
+    else:
+        print(f"OK ladder: {' -> '.join(r.value for r, _ in ladder.history)}"
+              f" survives in {current.duration:.0f} ns")
+
+
+def check_mini_campaign(failures):
+    result = chaos.run(seeds=1)
+    if result.survival_rate < 1.0:
+        failures.append(f"mini campaign survival "
+                        f"{result.survival_rate:.0%} < 100%")
+    elif result.baseline_survival_rate >= 1.0:
+        failures.append("no mini-campaign fault killed the no-response "
+                        "baseline; the campaign is not stressing anything")
+    elif result.invariant_violations or result.watchdog_hangs:
+        failures.append(
+            f"mini campaign: {result.invariant_violations} invariant "
+            f"violations, {result.watchdog_hangs} watchdog hangs")
+    else:
+        print(f"OK campaign: {result.n_scenarios} scenarios, resilient "
+              f"{result.survival_rate:.0%} vs baseline "
+              f"{result.baseline_survival_rate:.0%}, "
+              f"MTTR {result.mttr_ns():.0f} ns")
+
+
+def main() -> int:
+    failures = []
+    check_identity(failures)
+    check_drop_recovery(failures)
+    check_ladder(failures)
+    check_mini_campaign(failures)
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print("smoke-chaos passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -120,11 +120,27 @@ def scaled_shape(shape: GEMMShape, scale: int, min_m: int = 256) -> GEMMShape:
     return dataclasses.replace(shape, m=min(new_m, shape.m))
 
 
+def _attach_resilience(env: Environment, resilience) -> None:
+    """Attach a :class:`~repro.resilience.ResilienceRuntime` when asked.
+
+    ``resilience`` is falsy (off), ``True`` (default policy) or a
+    :class:`~repro.resilience.ResiliencePolicy`.  Attaching before the
+    topology wires matters: static link degradation is recorded at wiring
+    time and must reach the runtime's fault-observed feed.
+    """
+    if not resilience:
+        return
+    from repro.resilience import ResiliencePolicy, ResilienceRuntime
+    policy = resilience if isinstance(resilience, ResiliencePolicy) else None
+    ResilienceRuntime(policy).attach(env)
+
+
 def _fresh_topology(system: SystemConfig, policy: str,
                     record_traffic: bool = False,
                     faults: Optional[FaultPlan] = None,
                     check_invariants: bool = False,
                     obs=None,
+                    resilience=None,
                     ) -> Tuple[Environment, RingTopology]:
     env = Environment()
     if obs is not None:
@@ -135,6 +151,7 @@ def _fresh_topology(system: SystemConfig, policy: str,
             env.faults.bind_obs(obs)
     if check_invariants:
         env.invariants = InvariantChecker(env)
+    _attach_resilience(env, resilience)
     if record_traffic:
         system = system.with_fidelity(record_traffic=True)
     return env, RingTopology(env, system, policy_name=policy)
@@ -144,10 +161,10 @@ def _run_sequential(system: SystemConfig, shape: GEMMShape,
                     record_traffic: bool = False,
                     faults: Optional[FaultPlan] = None,
                     check_invariants: bool = False,
-                    obs=None):
+                    obs=None, resilience=None):
     """GEMM on all GPUs, then ring-RS, then ring-AG; returns parts."""
     env, topo = _fresh_topology(system, "compute-priority", record_traffic,
-                                faults, check_invariants, obs)
+                                faults, check_invariants, obs, resilience)
     kernels = []
     for gpu in topo.gpus:
         grid = TileGrid(shape, system.gemm, n_cus=system.compute.n_cus)
@@ -174,9 +191,9 @@ def _run_fused(system: SystemConfig, shape: GEMMShape, config: RunConfig,
                record_traffic: bool = False,
                faults: Optional[FaultPlan] = None,
                check_invariants: bool = False,
-               obs=None):
+               obs=None, resilience=None):
     env, topo = _fresh_topology(system, config.mc_policy, record_traffic,
-                                faults, check_invariants, obs)
+                                faults, check_invariants, obs, resilience)
     fused = FusedGEMMRS(topo, shape,
                         calibrate_mca=(config.mc_policy == "mca"))
     fused_result = fused.run()
@@ -195,6 +212,7 @@ def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
                        faults: Optional[FaultPlan] = None,
                        check_invariants: bool = False,
                        obs_sink: Optional[Dict[str, object]] = None,
+                       resilience=None,
                        ) -> SublayerSuite:
     """Run every requested configuration on one sub-layer GEMM shape.
 
@@ -211,6 +229,13 @@ def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
     are not cacheable, so profiled suites must bypass the sweep cache
     (see ``repro.experiments.profile``).  Recording is passive: the
     returned suite is identical with or without a sink.
+
+    ``resilience`` (falsy, ``True``, or a
+    :class:`~repro.resilience.ResiliencePolicy`) attaches a
+    :class:`~repro.resilience.ResilienceRuntime` to every run.  The
+    runtime stays dormant — and the suite byte-identical — until a fault
+    actually manifests, at which point it recovers lost DMA completions
+    and evicted Tracker regions in-run.
     """
     wanted = configs or list(KNOWN_CONFIG_NAMES)
     unknown = [name for name in wanted if name not in KNOWN_CONFIG_NAMES]
@@ -231,7 +256,8 @@ def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
 
     topo, gemm_t, rs_t, ag_t = _run_sequential(system, shape, record_traffic,
                                                faults, check_invariants,
-                                               obs=_registry("Sequential"))
+                                               obs=_registry("Sequential"),
+                                               resilience=resilience)
     suite.gemm_time, suite.rs_time, suite.ag_time = gemm_t, rs_t, ag_t
     suite.times["Sequential"] = gemm_t + rs_t + ag_t
     suite.traffic["Sequential"] = collect_breakdown(topo.gpus)
@@ -241,7 +267,8 @@ def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
             continue
         topo_f, _fused, total = _run_fused(
             system, shape, config_by_name(name), record_traffic,
-            faults, check_invariants, obs=_registry(name))
+            faults, check_invariants, obs=_registry(name),
+            resilience=resilience)
         suite.times[name] = total
         suite.traffic[name] = collect_breakdown(topo_f.gpus)
 

@@ -250,6 +250,9 @@ def run_cases(specs: Sequence[CaseSpec],
               cache: Optional[SweepCache] = None,
               progress: Optional[Callable[[str], None]] = None,
               timeout_s: Optional[float] = None,
+              max_retries: int = 1,
+              retry_backoff_s: float = 0.5,
+              _sleep: Callable[[float], None] = time.sleep,
               ) -> List[SublayerSuite]:
     """Run (or recall) every case; returns suites in ``specs`` order.
 
@@ -258,14 +261,25 @@ def run_cases(specs: Sequence[CaseSpec],
     ``ProcessPoolExecutor`` with ``jobs`` workers.  Results are written
     back to the cache by the parent process only.
 
+    ``timeout_s`` is a **shared deadline for the whole parallel batch**,
+    not a per-case allowance: results are collected until
+    ``timeout_s`` seconds after submission, after which every
+    still-outstanding case is treated as failed.  (Collecting each future
+    with its own full ``timeout_s`` would let a sweep of N stuck cases
+    wait N x ``timeout_s``.)
+
     The parallel path is crash-tolerant: a worker that dies (OOM-kill,
-    segfault, ``BrokenProcessPool``), raises, or exceeds ``timeout_s``
-    does not abort the sweep — the affected cases are retried once,
-    in-process and serial, with a :class:`SweepExecutionWarning`.  Only a
-    case that *also* fails in-process propagates its error (a genuine
-    simulation bug rather than a host problem).  Results already computed
-    and cached by healthy workers are kept either way.
+    segfault, ``BrokenProcessPool``), raises, or times out does not abort
+    the sweep — the affected cases are retried in-process and serial,
+    with a :class:`SweepExecutionWarning`, up to ``max_retries`` rounds
+    with exponential backoff (``retry_backoff_s * 2**(round-1)`` between
+    rounds).  The default (one round, like the original single retry)
+    means only a case that *also* fails in-process propagates its error
+    (a genuine simulation bug rather than a host problem).  Results
+    already computed and cached by healthy workers are kept either way.
     """
+    if max_retries < 0:
+        raise ValueError("max_retries cannot be negative")
     results: List[Optional[SublayerSuite]] = [None] * len(specs)
     pending: List[Tuple[int, CaseSpec, str]] = []
     for index, spec in enumerate(specs):
@@ -308,18 +322,63 @@ def run_cases(specs: Sequence[CaseSpec],
             warnings.warn(
                 f"{len(cases)} sweep case(s) failed in worker processes "
                 f"({type(first_error).__name__}: {first_error}); retrying "
-                "in-process serially",
+                f"in-process serially (up to {max_retries} round(s))",
                 SweepExecutionWarning, stacklevel=2)
             if progress:
                 progress(f"  retrying {len(cases)} failed case(s) "
                          "in-process")
-            run_serial(cases)
+            _retry_serial(cases, run_serial, first_error,
+                          max_retries=max_retries,
+                          backoff_s=retry_backoff_s, sleep=_sleep,
+                          progress=progress)
     if progress and pending:
         elapsed = time.time() - simulate_started
         if elapsed > 0:
             progress(f"sweep throughput: {len(pending) / elapsed:.3f} "
                      f"cases/s ({len(pending)} simulated in {elapsed:.1f}s)")
     return [suite for suite in results if suite is not None]
+
+
+def _retry_serial(cases: Sequence[Tuple[int, CaseSpec, str]],
+                  run_serial: Callable[[Sequence[Tuple[int, CaseSpec, str]]],
+                                       None],
+                  first_error: Optional[BaseException],
+                  max_retries: int,
+                  backoff_s: float,
+                  sleep: Callable[[float], None],
+                  progress: Optional[Callable[[str], None]] = None) -> None:
+    """In-process serial retry rounds with exponential backoff.
+
+    Every case gets attempted each round (one failing case must not
+    starve the rest of their retries); a case that fails in all
+    ``max_retries`` rounds propagates the first error seen for it.  With
+    ``max_retries == 0`` the parallel-path error propagates immediately.
+    """
+    if max_retries == 0:
+        raise first_error if first_error is not None else \
+            RuntimeError("sweep cases failed with no recorded error")
+    remaining = list(cases)
+    for attempt in range(1, max_retries + 1):
+        if attempt > 1:
+            delay = backoff_s * (2 ** (attempt - 2))
+            if delay > 0:
+                if progress:
+                    progress(f"  retry round {attempt}/{max_retries} in "
+                             f"{delay:.1f}s")
+                sleep(delay)
+        still_failed: List[Tuple[int, CaseSpec, str]] = []
+        error: Optional[BaseException] = None
+        for case in remaining:
+            try:
+                run_serial([case])
+            except Exception as exc:
+                still_failed.append(case)
+                error = error or exc
+        if not still_failed:
+            return
+        remaining = still_failed
+        if attempt == max_retries:
+            raise error
 
 
 def _run_parallel(pending: Sequence[Tuple[int, CaseSpec, str]],
@@ -330,6 +389,12 @@ def _run_parallel(pending: Sequence[Tuple[int, CaseSpec, str]],
                   ) -> Optional[Tuple[List[Tuple[int, CaseSpec, str]],
                                       BaseException]]:
     """Fan ``pending`` over a process pool; collect per-case failures.
+
+    ``timeout_s`` bounds the **whole batch**: one deadline is fixed at
+    submission and every future is collected against the time remaining
+    to it, so N stuck workers cost ``timeout_s`` total rather than
+    ``N x timeout_s`` (the futures are collected sequentially, and a
+    fresh per-future timeout would restart the clock on each).
 
     Returns ``None`` when every case succeeded, else ``(failed_cases,
     first_error)``.  A ``BrokenProcessPool`` poisons every outstanding
@@ -343,12 +408,16 @@ def _run_parallel(pending: Sequence[Tuple[int, CaseSpec, str]],
     healthy = True
     try:
         started = time.time()
+        deadline = None if timeout_s is None \
+            else time.monotonic() + timeout_s
         futures = [(index, spec, key,
                     pool.submit(_simulate_payload, spec.to_payload()))
                    for index, spec, key in pending]
         for index, spec, key, future in futures:
             try:
-                suite = SublayerSuite.from_dict(future.result(timeout_s))
+                remaining = None if deadline is None \
+                    else max(0.0, deadline - time.monotonic())
+                suite = SublayerSuite.from_dict(future.result(remaining))
             except FutureTimeoutError as exc:
                 future.cancel()
                 healthy = False

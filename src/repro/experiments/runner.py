@@ -24,8 +24,8 @@ import time
 from typing import Callable, Dict
 
 from repro.experiments import (
-    dp_overlap, extensions, fault_sweep, figure4, figure6, figure15,
-    figure16, figure17, figure18, figure19, figure20, profile,
+    chaos, dp_overlap, extensions, fault_sweep, figure4, figure6,
+    figure15, figure16, figure17, figure18, figure19, figure20, profile,
     related_work, scaleout, sublayer_sweep, tables, validation,
 )
 
@@ -53,6 +53,8 @@ EXPERIMENTS: Dict[str, Callable] = {
     "scaleout": scaleout.run,
     # Robustness study: speedup degradation under injected faults.
     "fault-sweep": fault_sweep.run,
+    # Resilience study: the recovery ladder vs a seeded fault campaign.
+    "chaos": chaos.run,
 }
 
 

@@ -57,6 +57,9 @@ class FaultInjector:
         self.counts: Dict[str, int] = {}
         #: optional repro.obs.MetricsRegistry mirror (see :meth:`bind_obs`).
         self._obs = None
+        #: optional repro.resilience.ResilienceRuntime subscriber (see
+        #: :meth:`bind_resilience`).
+        self._resilience = None
 
     # -- observability -------------------------------------------------------
 
@@ -69,10 +72,19 @@ class FaultInjector:
         """
         self._obs = registry
 
+    def bind_resilience(self, runtime) -> None:
+        """Report every realized fault event to ``runtime`` so it can arm
+        its recovery machinery.  With an empty plan no event is ever
+        realized and the runtime stays dormant — binding alone changes
+        nothing."""
+        self._resilience = runtime
+
     def _record(self, kind: str, gpu_id: int, value: float = 1) -> None:
         self.counts[kind] = self.counts.get(kind, 0) + 1
         if self._obs is not None:
             self._obs.scope(gpu_id, "faults").count(kind, value)
+        if self._resilience is not None:
+            self._resilience.on_fault_observed(kind, gpu_id)
 
     def observed_incidence(self) -> Dict[str, int]:
         """Realized fault-event counts by kind, for observed-vs-planned

@@ -199,9 +199,19 @@ class FaultPlan:
         their event budgets.  Compare against
         :meth:`~repro.faults.injector.FaultInjector.observed_incidence`.
         """
+        # Identity entries (factor-1.0 slowdowns, undegraded links with no
+        # effective stall) are legal to *plan* but never *recorded* by the
+        # injector — skip them so planned and observed incidence agree
+        # that nothing can fire.
+        effective_compute = [f for f in self.compute if f.factor != 1.0]
+        effective_links = [
+            f for f in self.links
+            if f.bandwidth_factor != 1.0 or f.extra_latency_ns
+            or (f.stall_ns > 0 and f.stall_probability > 0)
+        ]
         return {
-            "straggler_windows": len(self.compute),
-            "link_faults": len(self.links),
+            "straggler_windows": len(effective_compute),
+            "link_faults": len(effective_links),
             "dma_fault_budget": sum(f.max_events for f in self.dma),
             "tracker_pressure_rules": len(self.tracker),
         }

@@ -75,8 +75,15 @@ class DMAEngine:
         self.bytes_moved = 0.0
         #: completion notifications suppressed by an injected drop fault.
         self.dropped_completions: List[str] = []
+        #: completion notifications re-issued by the resilience runtime.
+        self.reissued_completions: List[str] = []
         #: duplicated completion notifications delivered and absorbed.
         self.duplicates_absorbed = 0
+        #: sim time each command's remote writes finished (set whether or
+        #: not the completion notification was delivered) — the signal
+        #: that separates a *lost notification* from an in-flight
+        #: transfer at a resilience deadline check.
+        self._finished_at: Dict[str, float] = {}
         #: live transfers (triggered, remote writes not yet all serviced).
         self.inflight_commands = 0
         self.inflight_bytes = 0
@@ -130,6 +137,8 @@ class DMAEngine:
                 self.env.now, self.inflight_bytes)
         self.env.process(
             self._run(command), name=f"dma.{self.gpu.gpu_id}.{command_id}")
+        if self.env.resilience is not None:
+            self.env.resilience.watch_dma(self, command)
         return self._completions[command_id]
 
     # -- execution ----------------------------------------------------------------
@@ -162,6 +171,7 @@ class DMAEngine:
             for wg_id, nbytes in command.wg_slices
         ]
         yield self.env.all_of(slice_procs)
+        self._finished_at[command.command_id] = self.env.now
         self.inflight_commands -= 1
         self.inflight_bytes -= command.nbytes
         if self.env.obs is not None:
@@ -212,6 +222,36 @@ class DMAEngine:
         if self.env.invariants is not None:
             self.env.invariants.on_duplicate_absorbed(
                 self.gpu.gpu_id, command.command_id)
+
+    # -- recovery (driven by the resilience runtime) ----------------------------
+
+    def transfer_finished(self, command_id: str) -> bool:
+        """True once the command's remote writes have all been serviced,
+        whether or not the completion notification was delivered."""
+        return command_id in self._finished_at
+
+    def transfer_finished_at(self, command_id: str) -> Optional[float]:
+        """Sim time the command's transfer finished, or None if in flight."""
+        return self._finished_at.get(command_id)
+
+    def redeliver(self, command_id: str, delay: float = 0.0) -> bool:
+        """Re-issue a lost completion notification for a finished command.
+
+        The resilience runtime calls this when a deadline (or drain
+        backstop) finds a finished transfer whose completion never fired.
+        Returns False when there is nothing to re-deliver: the event has
+        already fired, or the transfer has not actually finished.
+        """
+        if command_id not in self._completions:
+            raise SimulationError(f"unknown DMA command {command_id!r}")
+        event = self._completions[command_id]
+        if event.triggered or command_id not in self._finished_at:
+            return False
+        event.succeed(delay=delay)
+        self.reissued_completions.append(command_id)
+        if self.env.obs is not None:
+            self.env.obs.scope(self.gpu.gpu_id, "dma").count("reissues")
+        return True
 
     # -- introspection -------------------------------------------------------------
 

@@ -38,6 +38,7 @@ class Topology:
                    latency_ns: float, suffix: str = "") -> Pipe:
         """Build + register one directed link, applying any static link
         degradation from ``env.faults`` (bandwidth factor, extra latency)."""
+        nominal_bandwidth, nominal_latency = bandwidth, latency_ns
         if self.env.faults is not None:
             bandwidth, latency_ns = self.env.faults.link_parameters(
                 src, dst, bandwidth, latency_ns)
@@ -45,6 +46,8 @@ class Topology:
                     latency_ns=latency_ns,
                     name=f"link.{src}->{dst}{suffix}")
         pipe.endpoints = (src, dst)
+        pipe.nominal_bandwidth = nominal_bandwidth
+        pipe.nominal_latency_ns = nominal_latency
         self.links[(src, dst)] = pipe
         self.gpus[src].connect(self.gpus[dst], pipe)
         return pipe

@@ -23,20 +23,31 @@ from typing import Any, Dict, List
 #: v2: adds the required top-level ``cases_per_second`` throughput metric
 #: (simulated cases per host second across the whole case set) — the
 #: first-class figure of merit for engine hot-path work.
+#:
+#: v3: adds the required top-level ``chaos`` object — the resilience
+#: campaign's survival rate and MTTR (see ``repro.experiments.chaos``) —
+#: so robustness is tracked as a first-class trajectory metric alongside
+#: throughput.
 BENCH_SCHEMA = "t3-bench"
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: modes a bench point can be captured in.
 BENCH_MODES = ("smoke", "fast", "full")
 
 _REQUIRED_TOP = ("schema", "schema_version", "mode", "captured_at",
-                 "host", "wall_clock_s", "cases_per_second", "experiments")
+                 "host", "wall_clock_s", "cases_per_second", "chaos",
+                 "experiments")
 _REQUIRED_EXPERIMENT = ("case", "wall_clock_s", "speedups",
                         "overlap_efficiency")
+#: the chaos-campaign metrics every bench point carries (v3).
+_REQUIRED_CHAOS = ("scenarios", "survival_rate", "baseline_survival_rate",
+                   "mttr_ns", "retained_speedup", "invariant_violations",
+                   "watchdog_hangs")
 
 
 def build_payload(mode: str, captured_at: str, host: Dict[str, str],
                   wall_clock_s: float, cases_per_second: float,
+                  chaos: Dict[str, Any],
                   experiments: List[Dict[str, Any]]) -> Dict[str, Any]:
     """Assemble a bench point; raises on anything the schema rejects."""
     payload = {
@@ -47,6 +58,7 @@ def build_payload(mode: str, captured_at: str, host: Dict[str, str],
         "host": host,
         "wall_clock_s": wall_clock_s,
         "cases_per_second": cases_per_second,
+        "chaos": chaos,
         "experiments": experiments,
     }
     errors = validate(payload)
@@ -83,12 +95,48 @@ def validate(payload: Any) -> List[str]:
         errors.append("wall_clock_s must be a positive number")
     if not _positive_number(payload["cases_per_second"]):
         errors.append("cases_per_second must be a positive number")
+    errors.extend(_validate_chaos(payload["chaos"]))
     experiments = payload["experiments"]
     if not isinstance(experiments, list) or not experiments:
         errors.append("experiments must be a non-empty list")
         return errors
     for index, entry in enumerate(experiments):
         errors.extend(_validate_experiment(index, entry))
+    return errors
+
+
+def _validate_chaos(entry: Any) -> List[str]:
+    """The v3 chaos block: campaign size, survival rates and MTTR."""
+    if not isinstance(entry, dict):
+        return [f"chaos must be an object, got {type(entry).__name__}"]
+    errors = [f"chaos missing key {key!r}"
+              for key in _REQUIRED_CHAOS if key not in entry]
+    if errors:
+        return errors
+    if not isinstance(entry["scenarios"], int) \
+            or isinstance(entry["scenarios"], bool) \
+            or entry["scenarios"] < 1:
+        errors.append("chaos.scenarios must be a positive integer")
+    for key in ("survival_rate", "baseline_survival_rate"):
+        value = entry[key]
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or not 0.0 <= value <= 1.0:
+            errors.append(f"chaos.{key} must be a number in [0, 1]")
+    # MTTR / retained speedup are null when no scenario needed recovery
+    # (e.g. a smoke slice with only tolerated faults).
+    if entry["mttr_ns"] is not None and not _non_negative_number(
+            entry["mttr_ns"]):
+        errors.append("chaos.mttr_ns must be a non-negative number or "
+                      "null")
+    if entry["retained_speedup"] is not None and not _positive_number(
+            entry["retained_speedup"]):
+        errors.append("chaos.retained_speedup must be a positive number "
+                      "or null")
+    for key in ("invariant_violations", "watchdog_hangs"):
+        value = entry[key]
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            errors.append(f"chaos.{key} must be a non-negative integer")
     return errors
 
 
@@ -128,3 +176,8 @@ def _validate_experiment(index: int, entry: Any) -> List[str]:
 def _positive_number(value: Any) -> bool:
     return (isinstance(value, (int, float)) and not isinstance(value, bool)
             and value > 0)
+
+
+def _non_negative_number(value: Any) -> bool:
+    return (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and value >= 0)

@@ -1,0 +1,175 @@
+"""Online fault detection from passive telemetry.
+
+Detection never schedules events — monitors fold observations the
+components already make (DMA transfer service times, Tracker trigger
+latencies) into EWMAs and compare them against model-derived
+expectations:
+
+* :class:`LinkHealthMonitor` — per directed link, the EWMA of
+  *observed / expected* DMA service time.  The expectation comes from
+  the same pipe model the simulator runs (latency + bytes/bandwidth), so
+  a healthy link hovers near 1.0 regardless of payload size and a link
+  degraded to half bandwidth converges to ~2.0.  NOTE: the expectation
+  is computed from the link's *healthy* (undegraded) parameters, which
+  the topology records before applying static fault degradation — that
+  is what makes a statically-degraded link visible at all.
+* :class:`StragglerDetector` — per GPU, the EWMA of Tracker
+  trigger-fire latency.  A rank whose latency exceeds the fleet median
+  by ``straggler_threshold`` is flagged.
+
+``diagnosis()`` snapshots both into a :class:`Diagnosis`, which the
+repair layer consumes (reroute off the worst degraded link, demote the
+worst straggler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.resilience.policy import ResiliencePolicy
+
+
+class Ewma:
+    """Exponentially-weighted moving average with a sample count."""
+
+    __slots__ = ("alpha", "value", "samples")
+
+    def __init__(self, alpha: float):
+        self.alpha = alpha
+        self.value: Optional[float] = None
+        self.samples = 0
+
+    def observe(self, sample: float) -> float:
+        self.samples += 1
+        if self.value is None:
+            self.value = sample
+        else:
+            self.value += self.alpha * (sample - self.value)
+        return self.value
+
+
+@dataclass
+class LinkFinding:
+    """One degraded directed link, worst first."""
+
+    src: int
+    dst: int
+    service_ratio: float      # EWMA of observed / expected service time
+    samples: int
+
+
+@dataclass
+class StragglerFinding:
+    """One straggling rank, worst first."""
+
+    gpu_id: int
+    latency_ratio: float      # EWMA trigger latency / fleet median
+    samples: int
+
+
+@dataclass
+class Diagnosis:
+    """What the monitors currently believe is wrong."""
+
+    degraded_links: List[LinkFinding] = field(default_factory=list)
+    stragglers: List[StragglerFinding] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return not (self.degraded_links or self.stragglers)
+
+    def summary(self) -> str:
+        if self.healthy:
+            return "healthy"
+        parts = []
+        for f in self.degraded_links:
+            parts.append(f"link {f.src}->{f.dst} at "
+                         f"{f.service_ratio:.2f}x expected service")
+        for f in self.stragglers:
+            parts.append(f"rank {f.gpu_id} trigger latency "
+                         f"{f.latency_ratio:.2f}x fleet median")
+        return "; ".join(parts)
+
+
+class LinkHealthMonitor:
+    """Per-link EWMA of observed vs expected DMA service time."""
+
+    def __init__(self, policy: ResiliencePolicy):
+        self.policy = policy
+        self._links: Dict[Tuple[int, int], Ewma] = {}
+
+    def observe(self, src: int, dst: int, observed_ns: float,
+                expected_ns: float) -> None:
+        if expected_ns <= 0:
+            return
+        ewma = self._links.get((src, dst))
+        if ewma is None:
+            ewma = self._links[(src, dst)] = Ewma(self.policy.ewma_alpha)
+        ewma.observe(observed_ns / expected_ns)
+
+    def findings(self) -> List[LinkFinding]:
+        """Links whose service ratio exceeds the fleet median by the
+        degradation threshold.
+
+        The comparison is *relative* (each link's observed/expected EWMA
+        against the median across links): the expectation model omits
+        DRAM service and contention, so the absolute ratio sits above
+        1.0 even on a healthy fabric — but it does so uniformly, and a
+        genuinely degraded link stands out against its peers.
+        """
+        mature = {
+            link: e for link, e in self._links.items()
+            if e.samples >= self.policy.min_samples and e.value is not None
+        }
+        if len(mature) < 2:
+            return []  # one link has no peer baseline
+        values = sorted(e.value for e in mature.values())
+        mid = len(values) // 2
+        median = (values[mid] if len(values) % 2
+                  else 0.5 * (values[mid - 1] + values[mid]))
+        if median <= 0:
+            return []
+        found = [
+            LinkFinding(src=src, dst=dst, service_ratio=e.value / median,
+                        samples=e.samples)
+            for (src, dst), e in mature.items()
+            if e.value / median > self.policy.link_degraded_threshold
+        ]
+        found.sort(key=lambda f: (-f.service_ratio, f.src, f.dst))
+        return found
+
+
+class StragglerDetector:
+    """Per-rank EWMA of Tracker trigger-fire latency vs the fleet."""
+
+    def __init__(self, policy: ResiliencePolicy):
+        self.policy = policy
+        self._ranks: Dict[int, Ewma] = {}
+
+    def observe(self, gpu_id: int, latency_ns: float) -> None:
+        ewma = self._ranks.get(gpu_id)
+        if ewma is None:
+            ewma = self._ranks[gpu_id] = Ewma(self.policy.ewma_alpha)
+        ewma.observe(latency_ns)
+
+    def findings(self) -> List[StragglerFinding]:
+        mature = {gpu: e for gpu, e in self._ranks.items()
+                  if e.samples >= self.policy.min_samples
+                  and e.value is not None}
+        if len(mature) < 2:
+            return []  # a fleet of one has no baseline to deviate from
+        values = sorted(e.value for e in mature.values())
+        mid = len(values) // 2
+        median = (values[mid] if len(values) % 2
+                  else 0.5 * (values[mid - 1] + values[mid]))
+        if median <= 0:
+            return []
+        found = [
+            StragglerFinding(gpu_id=gpu, latency_ratio=e.value / median,
+                             samples=e.samples)
+            for gpu, e in mature.items()
+            if e.value / median > self.policy.straggler_threshold
+        ]
+        found.sort(key=lambda f: (-f.latency_ratio, f.gpu_id))
+        return found

@@ -1,0 +1,225 @@
+"""Plan repair: rebuild a :class:`CollectivePlan` around a diagnosis.
+
+Every repair returns a *validated* plan (``CollectivePlan.validate()``
+is re-run on the result before it is returned) plus a
+:class:`RepairResult` describing what changed, so callers can record the
+repair as a span and report honest "unchanged" outcomes.
+
+Three repairs, matched to the detection signals:
+
+* :func:`reroute_off_link` — a degraded directed link.  Ring plans are
+  *reversed* (relabel ``r -> -r mod N``): the physical ring topologies
+  here wire both directions, so the reversed plan runs entirely on the
+  backward links and never touches the degraded forward edge (and vice
+  versa).  Hierarchical plans reverse the same way — both intra-node
+  rings and inter-node rails are wired bidirectionally.  Direct /
+  all-to-all plans use *every* pairwise edge, so no relabelling can
+  avoid one; they come back ``unchanged`` (the fully-connected fabric
+  absorbs a single slow edge in parallel with n-2 healthy ones).
+* :func:`demote_rank` — a straggling rank.  With fewer chunks than
+  ranks (graceful chunking) some logical slots own no terminal chunk and
+  do no DMA forwarding for the missing chunks; a *rotation* re-seats
+  the straggler into the cheapest slot.  With a full complement of
+  chunks every slot does identical work and the honest answer is
+  ``unchanged``.
+* :func:`exclude_rank` — a rank written out of the collective entirely:
+  the plan is *rebuilt* with the matching builder over the N-1
+  survivors (a hierarchical shape that no longer divides evenly degrades
+  to a flat ring over the survivors).  The result is a plan for an
+  (N-1)-GPU system — the caller owns re-provisioning onto it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.collectives.plan import (
+    CollectivePlan,
+    all_to_all_plan,
+    direct_rs_plan,
+    hierarchical_rs_plan,
+    ring_all_gather_plan,
+    ring_reduce_scatter_plan,
+)
+
+
+@dataclass
+class RepairResult:
+    """One repair outcome: the (validated) plan plus what was done."""
+
+    plan: CollectivePlan
+    action: str              # "reversed" | "rotated" | "rebuilt" | "unchanged"
+    detail: str = ""
+
+    @property
+    def changed(self) -> bool:
+        return self.action != "unchanged"
+
+
+def _validated(plan: CollectivePlan, action: str, detail: str) -> RepairResult:
+    plan.validate()
+    return RepairResult(plan=plan, action=action, detail=detail)
+
+
+def _ring_like(plan: CollectivePlan) -> bool:
+    return plan.collective in ("ring-rs", "hier-rs", "all-gather")
+
+
+def reroute_off_link(plan: CollectivePlan, src: int,
+                     dst: int) -> RepairResult:
+    """Reroute the plan's traffic off the degraded directed link
+    ``src -> dst``.
+
+    Ring-family plans are reversed (``r -> -r mod N``): every step that
+    used a forward edge now uses the corresponding backward edge, so the
+    degraded edge carries nothing.  If the plan does not actually use
+    the edge (or uses every edge, as direct plans do), it is returned
+    unchanged.
+    """
+    uses = any(
+        step.dst == dst and rank_plan.rank == src
+        for rank_plan in plan.ranks for step in rank_plan.steps
+    ) or any(
+        route.dst_gpu == dst and rank_plan.rank == src
+        for rank_plan in plan.ranks
+        for route in rank_plan.routes.values()
+    )
+    if not uses:
+        return _validated(plan, "unchanged",
+                          f"plan does not use link {src}->{dst}")
+    if not _ring_like(plan):
+        return _validated(
+            plan, "unchanged",
+            f"{plan.collective} uses every pairwise edge; a single "
+            f"degraded link ({src}->{dst}) cannot be relabelled away")
+    n = plan.n_ranks
+    if plan.collective == "hier-rs":
+        # Reverse node order and intra-node position *independently*:
+        # intra hops stay within their node (backward intra edges + the
+        # wired node-closure link) and rail hops flip to the rail-up
+        # direction.  A flat "-r mod N" reversal would map the intra
+        # wrap hop onto an unwired diagonal cross-node edge.
+        per = _infer_gpus_per_node(plan)
+        n_nodes = n // per
+        mapping = {
+            k * per + g: ((-k) % n_nodes) * per + ((-g) % per)
+            for k in range(n_nodes) for g in range(per)
+        }
+    else:
+        mapping = {r: (-r) % n for r in range(n)}
+    reversed_plan = plan.relabeled(mapping)
+    # Degenerate shapes (2-rank rings, 2x2 hierarchies) have coincident
+    # forward/backward edges; reversal cannot avoid the degraded one.
+    still_uses = any(
+        step.dst == dst and rank_plan.rank == src
+        for rank_plan in reversed_plan.ranks for step in rank_plan.steps
+    ) or any(
+        route.dst_gpu == dst and rank_plan.rank == src
+        for rank_plan in reversed_plan.ranks
+        for route in rank_plan.routes.values()
+    )
+    if still_uses:
+        return _validated(
+            plan, "unchanged",
+            f"ring reversal cannot avoid {src}->{dst} at N={n}")
+    return _validated(reversed_plan, "reversed",
+                      f"ring reversed off degraded link {src}->{dst}")
+
+
+def demote_rank(plan: CollectivePlan, gpu_id: int) -> RepairResult:
+    """Rotate a ring plan so straggling ``gpu_id`` plays the cheapest
+    logical role.
+
+    Only graceful-chunked flat rings (``n_chunks < n_ranks``) have an
+    asymmetric slot to rotate into: logical ranks ``>= n_chunks`` own no
+    terminal chunk.  Fully-chunked rings and hierarchical plans are
+    slot-symmetric; demotion honestly returns them unchanged.
+    """
+    if gpu_id < 0 or gpu_id >= plan.n_ranks:
+        raise ValueError(f"rank {gpu_id} not in plan of {plan.n_ranks}")
+    n = plan.n_ranks
+    if plan.collective != "ring-rs" or plan.n_chunks >= n:
+        return _validated(
+            plan, "unchanged",
+            "every logical slot does identical work; nothing to demote "
+            f"rank {gpu_id} into")
+    if gpu_id >= plan.n_chunks:
+        return _validated(plan, "unchanged",
+                          f"rank {gpu_id} already owns no terminal chunk")
+    # Rotate so logical slot n-1 (terminal-free) lands on the straggler:
+    # mapping[r] = (r + gpu_id - (n-1)) mod n puts logical n-1 at gpu_id.
+    shift = (gpu_id - (n - 1)) % n
+    mapping = {r: (r + shift) % n for r in range(n)}
+    rotated = plan.relabeled(mapping)
+    return _validated(
+        rotated, "rotated",
+        f"rotated straggler rank {gpu_id} into the terminal-free slot")
+
+
+def exclude_rank(plan: CollectivePlan, gpu_id: int) -> RepairResult:
+    """Rebuild the collective over the N-1 survivors of ``gpu_id``.
+
+    The surviving plan uses contiguous logical ranks ``0..N-2`` (the
+    survivors in ascending physical order); re-provisioning onto an
+    (N-1)-GPU system is the caller's job.  Hierarchical shapes that no
+    longer divide evenly degrade to a flat ring over the survivors.
+    """
+    if gpu_id < 0 or gpu_id >= plan.n_ranks:
+        raise ValueError(f"rank {gpu_id} not in plan of {plan.n_ranks}")
+    survivors = plan.n_ranks - 1
+    if survivors < 2:
+        raise ValueError(
+            "cannot exclude a rank from a 2-rank collective; fall back "
+            "to a local no-op instead")
+    if plan.collective == "ring-rs":
+        rebuilt = ring_reduce_scatter_plan(
+            survivors, n_chunks=min(plan.n_chunks, survivors),
+            split_k=plan.split_k)
+        detail = f"flat ring rebuilt over {survivors} survivors"
+    elif plan.collective == "hier-rs":
+        per = _infer_gpus_per_node(plan)
+        if per is not None and survivors % per == 0 and survivors // per > 1:
+            rebuilt = hierarchical_rs_plan(survivors // per, per,
+                                           split_k=plan.split_k)
+            detail = (f"hierarchical plan rebuilt over "
+                      f"{survivors // per}x{per} survivors")
+        else:
+            rebuilt = ring_reduce_scatter_plan(survivors,
+                                               split_k=plan.split_k)
+            detail = (f"uneven nodes after excluding rank {gpu_id}; "
+                      f"degraded to a flat ring over {survivors} survivors")
+    elif plan.collective == "direct-rs":
+        rebuilt = direct_rs_plan(survivors)
+        detail = f"direct-RS rebuilt over {survivors} survivors"
+    elif plan.collective == "all-to-all":
+        rebuilt = all_to_all_plan(survivors)
+        detail = f"all-to-all rebuilt over {survivors} survivors"
+    elif plan.collective == "all-gather":
+        rebuilt = ring_all_gather_plan(survivors)
+        detail = f"all-gather rebuilt over {survivors} survivors"
+    else:
+        raise ValueError(
+            f"no exclusion rebuild for collective {plan.collective!r}")
+    return _validated(rebuilt, "rebuilt", detail)
+
+
+def _infer_gpus_per_node(plan: CollectivePlan) -> Optional[int]:
+    """Recover gpus_per_node from a hierarchical plan's intra stage."""
+    for rank_plan in plan.ranks:
+        intra = [s for s in rank_plan.steps if s.stage == "intra"]
+        if intra:
+            return len(intra) + 1
+    return None
+
+
+def repair_for_diagnosis(plan: CollectivePlan, diagnosis) -> RepairResult:
+    """The repair matching a :class:`~repro.resilience.detect.Diagnosis`:
+    worst degraded link first, else worst straggler, else unchanged."""
+    if diagnosis.degraded_links:
+        worst = diagnosis.degraded_links[0]
+        return reroute_off_link(plan, worst.src, worst.dst)
+    if diagnosis.stragglers:
+        worst = diagnosis.stragglers[0]
+        return demote_rank(plan, worst.gpu_id)
+    return _validated(plan, "unchanged", "diagnosis is healthy")

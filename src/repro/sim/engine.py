@@ -309,6 +309,11 @@ class Environment:
         #: (never schedules events), so simulation results are identical
         #: with the registry attached or absent.
         self.obs = None
+        #: optional repro.resilience.ResilienceRuntime; components report
+        #: progress into it and it may schedule deadline timers — but only
+        #: once a fault has actually manifested (armed), so healthy runs
+        #: stay bit-identical with the runtime attached or absent.
+        self.resilience = None
         #: watchdog limits (None = unbounded); see configure_watchdog.
         self.max_events: Optional[int] = None
         self.max_sim_ns: Optional[float] = None
@@ -380,6 +385,20 @@ class Environment:
                 f"watchdog: simulated time reached {when:.1f} ns "
                 f"(limit {self.max_sim_ns:.1f} ns)\n" + self.diagnostic_dump())
         event._fire()
+
+    def call_later(self, delay: float,
+                   fn: Callable[["BaseEvent"], None]) -> BaseEvent:
+        """Schedule ``fn`` to run once, ``delay`` ns from now.
+
+        A deadline timer: the resilience runtime arms these against DMA
+        completions so a lost notification is noticed and re-issued
+        instead of draining the schedule into a watchdog hang.  Returns
+        the timer event (``fn`` receives it when it fires).
+        """
+        timer = BaseEvent(self)
+        timer._callbacks.append(fn)
+        timer.succeed(delay=delay)
+        return timer
 
     # -- watchdog & diagnostics ------------------------------------------------
 

@@ -300,8 +300,21 @@ class FusedGEMMRS:
         ]
         everything = self.env.all_of(
             procs + self.terminal_events + self.dma_completions)
+        # Armed resilience deadline timers may outlive the collective and
+        # advance env.now past its real finish; capture rs_done at the
+        # composite's fire instant so recovered runs report honest times.
+        finished_at: List[float] = []
+        everything.add_callback(lambda _ev: finished_at.append(self.env.now))
         self.env.run()
+        runtime = self.env.resilience
+        while not everything.fired and runtime is not None \
+                and runtime.recover_drain(self):
+            # The drain backstop re-issued lost completions; resume the
+            # event loop and let the collective finish.
+            self.env.run()
         if not everything.fired:
+            if runtime is not None:
+                runtime.mark_failed()
             # The schedule drained with waiters outstanding (e.g. a dropped
             # DMA completion, or tracker entries evicted under pressure):
             # a hang, surfaced as a diagnosable error instead of silence.
@@ -319,7 +332,10 @@ class FusedGEMMRS:
                 f"fused GEMM-RS deadlocked; pending tracker regions: "
                 f"{pending}; dropped DMA completions: {dropped}\n"
                 + self.env.diagnostic_dump())
-        self.result.rs_done = self.env.now
+        self.result.rs_done = (
+            finished_at[0]
+            if runtime is not None and runtime.armed and finished_at
+            else self.env.now)
         self.result.gemm_results = [k.result for k in self.kernels]
         if self.env.invariants is not None:
             self.env.invariants.check_all()

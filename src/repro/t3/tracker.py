@@ -64,6 +64,7 @@ class TrackerStats:
     peak_ways_used: int = 0
     overflow_events: int = 0
     forced_evictions: int = 0
+    regions_restored: int = 0
 
 
 class Tracker:
@@ -147,11 +148,40 @@ class Tracker:
         if not victims:
             return
         victim = victims[0]
-        del self._set_for(victim[0])[victim]
+        entry = self._set_for(victim[0]).pop(victim)
         self._live -= 1
         self.stats.forced_evictions += 1
         if self.env is not None and self.env.faults is not None:
             self.env.faults.record_eviction(self.gpu_id, victim)
+        if self.env is not None and self.env.resilience is not None:
+            # Hand the victim (with its accumulated counts) to the
+            # resilience runtime, which may restore the region with its
+            # remaining bytes instead of letting the trigger hang.
+            self.env.resilience.on_tracker_eviction(self, entry)
+
+    def restore_region(self, key: RegionKey, remaining_bytes: int) -> None:
+        """Re-program an evicted region for its *remaining* bytes.
+
+        Recovery path only (resilience runtime): bypasses the pressure
+        fault consultation — restoring must not itself trigger another
+        eviction — and re-enters the entry directly so already-received
+        bytes stay credited via the smaller expectation.
+        """
+        remaining = int(round(remaining_bytes))
+        if remaining <= 0:
+            raise ValueError("a restored region must expect positive bytes")
+        entry_set = self._set_for(key[0])
+        if key in entry_set:
+            raise ValueError(f"region {key} is live; nothing to restore")
+        entry_set[key] = TrackerEntry(key=key, expected_bytes=remaining)
+        self._live += 1
+        self.stats.regions_restored += 1
+        self.stats.peak_ways_used = max(
+            self.stats.peak_ways_used, len(entry_set))
+        if self.env is not None and self.env.obs is not None:
+            scope = self.env.obs.scope(self.gpu_id, "tracker")
+            scope.count("regions_restored")
+            scope.gauge("live_regions").set(self.env.now, self.live_regions)
 
     def is_tracked(self, wg_id: int, wf_id: int = -1) -> bool:
         return self._key(wg_id, wf_id) in self._set_for(wg_id)
@@ -217,6 +247,10 @@ class Tracker:
                                   self.env.now - self._crediting_issued_at)
                 scope.gauge("live_regions").set(
                     self.env.now, self.live_regions)
+            if self.env is not None and self.env.resilience is not None \
+                    and self._crediting_issued_at is not None:
+                self.env.resilience.observe_trigger_latency(
+                    self.gpu_id, self.env.now - self._crediting_issued_at)
             for fn in self._on_complete:
                 fn(key)
 

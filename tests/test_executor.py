@@ -289,3 +289,88 @@ def test_serial_path_is_untouched_by_worker_failures(monkeypatch, tmp_path):
     results = run_cases(_specs(names=("OP",)), jobs=1,
                         cache=SweepCache(tmp_path))
     assert len(results) == 1
+
+
+# ------------------------------------- shared deadline + bounded retries
+
+def test_negative_max_retries_rejected(tmp_path):
+    with pytest.raises(ValueError, match="max_retries"):
+        run_cases(_specs(names=("OP",)), jobs=1,
+                  cache=SweepCache(tmp_path), max_retries=-1)
+
+
+def test_timeout_is_a_shared_batch_deadline(monkeypatch, tmp_path):
+    """N hung workers cost ~timeout_s total, not N x timeout_s."""
+    import time as _time
+
+    _install_worker_failure(monkeypatch, lambda: _time.sleep(5.0))
+    specs = _specs(names=("OP", "FC-2")) + _specs(names=("FC-1", "IP"))
+    started = _time.monotonic()
+    with pytest.warns(executor.SweepExecutionWarning):
+        results = run_cases(specs, jobs=2, cache=SweepCache(tmp_path),
+                            timeout_s=0.5)
+    elapsed = _time.monotonic() - started
+    assert len(results) == 4               # serial retry recovered all
+    # Per-future sequential timeouts would wait >= 4 x 0.5s in the pool
+    # alone; the shared deadline bounds collection to ~0.5s (plus serial
+    # re-simulation, which uses the canned stub and is instant).
+    assert elapsed < 1.9, f"batch deadline not shared: {elapsed:.1f}s"
+
+
+def test_retry_serial_retries_each_case_individually():
+    """One persistently-failing case must not starve the others."""
+    attempts = {}
+
+    def run_serial(cases):
+        [(index, spec, key)] = cases
+        attempts[index] = attempts.get(index, 0) + 1
+        if index == 1:                     # case 1 fails every round
+            raise ValueError("case 1 keeps failing")
+
+    cases = [(0, None, "k0"), (1, None, "k1"), (2, None, "k2")]
+    with pytest.raises(ValueError, match="case 1 keeps failing"):
+        executor._retry_serial(cases, run_serial,
+                               first_error=RuntimeError("from the pool"),
+                               max_retries=3, backoff_s=0.0,
+                               sleep=lambda _s: None)
+    # Cases 0 and 2 succeeded in round 1 and were not re-attempted;
+    # case 1 got all three rounds before its error propagated.
+    assert attempts == {0: 1, 1: 3, 2: 1}
+
+
+def test_retry_serial_backoff_is_exponential():
+    delays = []
+
+    def run_serial(cases):
+        raise ValueError("never succeeds")
+
+    with pytest.raises(ValueError):
+        executor._retry_serial([(0, None, "k0")], run_serial,
+                               first_error=None, max_retries=4,
+                               backoff_s=0.5, sleep=delays.append)
+    # No sleep before round 1; then 0.5 * 2**(round-2) between rounds.
+    assert delays == [0.5, 1.0, 2.0]
+
+
+def test_retry_serial_zero_retries_propagates_pool_error():
+    marker = RuntimeError("original pool failure")
+
+    def run_serial(cases):           # pragma: no cover - must not run
+        raise AssertionError("no retry rounds were requested")
+
+    with pytest.raises(RuntimeError, match="original pool failure"):
+        executor._retry_serial([(0, None, "k0")], run_serial,
+                               first_error=marker, max_retries=0,
+                               backoff_s=0.5, sleep=lambda _s: None)
+
+
+def test_run_cases_max_retries_zero_raises_worker_error(monkeypatch,
+                                                        tmp_path):
+    def explode():
+        raise ValueError("synthetic worker failure")
+
+    _install_worker_failure(monkeypatch, explode)
+    with pytest.warns(executor.SweepExecutionWarning):
+        with pytest.raises(ValueError, match="synthetic worker failure"):
+            run_cases(_specs(), jobs=2, cache=SweepCache(tmp_path),
+                      max_retries=0)

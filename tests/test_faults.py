@@ -357,3 +357,90 @@ def test_fault_sweep_runs_and_renders(tmp_path):
 def test_fault_sweep_registered_in_runner():
     from repro.experiments.runner import EXPERIMENTS
     assert "fault-sweep" in EXPERIMENTS
+
+
+# ----------------------------------------------- window boundary semantics
+
+def test_in_window_is_half_open():
+    """Fault windows are [start, end): inclusive start, exclusive end."""
+    from repro.faults.plan import _in_window
+
+    assert _in_window(100.0, 200.0, 100.0)        # exactly start: in
+    assert _in_window(100.0, 200.0, 199.999)      # inside: in
+    assert not _in_window(100.0, 200.0, 200.0)    # exactly end: out
+    assert not _in_window(100.0, 200.0, 99.999)   # before start: out
+    assert _in_window(100.0, None, 1e18)          # open-ended window
+    assert not _in_window(100.0, None, 0.0)
+
+
+def test_compute_slowdown_window_boundaries_match_in_window():
+    fault = ComputeSlowdown(gpu_id=0, factor=2.0, start_ns=50.0,
+                            end_ns=80.0)
+    assert not fault.matches(0, 49.999)
+    assert fault.matches(0, 50.0)
+    assert fault.matches(0, 79.999)
+    assert not fault.matches(0, 80.0)
+
+
+def test_link_stall_window_boundaries_match_in_window():
+    fault = LinkDegradation(src=0, dst=1, stall_ns=100.0,
+                            start_ns=10.0, end_ns=20.0)
+    assert not fault.stalls_at(9.999)
+    assert fault.stalls_at(10.0)
+    assert fault.stalls_at(19.999)
+    assert not fault.stalls_at(20.0)
+    # A zero-stall entry never stalls, whatever the window says.
+    assert not LinkDegradation(src=0, dst=1).stalls_at(15.0)
+
+
+# -------------------------------------- planned vs observed incidence
+
+def test_planned_incidence_skips_identity_entries():
+    """No-op draws (factor 1.0, undegraded links, p=0 stalls) are legal
+    to plan but can never fire; planned_incidence must agree with the
+    injector that nothing can happen."""
+    plan = FaultPlan(
+        compute=(ComputeSlowdown(gpu_id=0, factor=1.0),),
+        links=(LinkDegradation(src=0, dst=1),                # identity
+               LinkDegradation(src=0, dst=1, stall_ns=50.0,
+                               stall_probability=0.0)),      # p=0 stall
+    )
+    incidence = plan.planned_incidence()
+    assert incidence["straggler_windows"] == 0
+    assert incidence["link_faults"] == 0
+    assert incidence["dma_fault_budget"] == 0
+    assert incidence["tracker_pressure_rules"] == 0
+
+
+def test_planned_incidence_counts_effective_entries():
+    plan = FaultPlan(
+        compute=(ComputeSlowdown(gpu_id=0, factor=1.5),
+                 ComputeSlowdown(gpu_id=1, factor=1.0)),     # identity
+        links=(LinkDegradation(src=0, dst=1, bandwidth_factor=0.5),
+               LinkDegradation(src=1, dst=2, extra_latency_ns=100.0),
+               LinkDegradation(src=2, dst=3, stall_ns=50.0,
+                               stall_probability=0.5)),
+        dma=(DMACompletionFault(action="drop", max_events=2),
+             DMACompletionFault(action="delay", delay_ns=10.0,
+                                max_events=3)),
+        tracker=(TrackerPressure(gpu_id=0, evict_every=4),),
+    )
+    incidence = plan.planned_incidence()
+    assert incidence["straggler_windows"] == 1
+    assert incidence["link_faults"] == 3
+    assert incidence["dma_fault_budget"] == 5
+    assert incidence["tracker_pressure_rules"] == 1
+
+
+def test_identity_plan_observed_incidence_is_empty():
+    """An all-identity plan fires nothing through a real simulation, in
+    agreement with its planned incidence of zero everywhere."""
+    plan = FaultPlan(
+        compute=(ComputeSlowdown(gpu_id=ANY, factor=1.0),),
+        links=(LinkDegradation(src=ANY, dst=ANY),),
+    )
+    assert all(count == 0 for count in plan.planned_incidence().values())
+    baseline = simulate()
+    noop = simulate(faults=plan)
+    assert noop.times == baseline.times
+    assert noop.traffic == baseline.traffic

@@ -30,6 +30,20 @@ def experiment(**overrides):
     return entry
 
 
+def chaos(**overrides):
+    entry = {
+        "scenarios": 240,
+        "survival_rate": 1.0,
+        "baseline_survival_rate": 0.6,
+        "mttr_ns": 6004.0,
+        "retained_speedup": 1.17,
+        "invariant_violations": 0,
+        "watchdog_hangs": 0,
+    }
+    entry.update(overrides)
+    return entry
+
+
 def payload(**overrides):
     base = {
         "schema": BENCH_SCHEMA,
@@ -39,6 +53,7 @@ def payload(**overrides):
         "host": {"platform": "linux", "python": "3.11"},
         "wall_clock_s": 10.0,
         "cases_per_second": 0.4,
+        "chaos": chaos(),
         "experiments": [experiment()],
     }
     base.update(overrides)
@@ -56,6 +71,7 @@ def test_build_payload_round_trips():
         host={"platform": "linux"},
         wall_clock_s=1.0,
         cases_per_second=1.0,
+        chaos=chaos(),
         experiments=[experiment()],
     )
     assert built["schema"] == BENCH_SCHEMA
@@ -66,7 +82,7 @@ def test_build_payload_raises_on_invalid():
     with pytest.raises(ValueError, match="mode"):
         build_payload(mode="warp", captured_at="t", host={},
                       wall_clock_s=1.0, cases_per_second=1.0,
-                      experiments=[experiment()])
+                      chaos=chaos(), experiments=[experiment()])
 
 
 def test_non_dict_payload_rejected():
@@ -135,9 +151,53 @@ def test_overlap_efficiency_bounded_to_unit_interval():
         experiment(overlap_efficiency={"T3-MCA": True})])) != []
 
 
+def test_chaos_block_required():
+    missing = payload()
+    del missing["chaos"]
+    assert any("chaos" in e for e in validate(missing))
+    assert validate(payload(chaos="fine")) != []
+
+
+def test_chaos_missing_keys_reported():
+    bad = chaos()
+    del bad["survival_rate"], bad["mttr_ns"]
+    errors = validate(payload(chaos=bad))
+    assert any("survival_rate" in error for error in errors)
+    assert any("mttr_ns" in error for error in errors)
+
+
+def test_chaos_scenarios_must_be_positive_int():
+    assert validate(payload(chaos=chaos(scenarios=0))) != []
+    assert validate(payload(chaos=chaos(scenarios=2.5))) != []
+    assert validate(payload(chaos=chaos(scenarios=True))) != []
+
+
+def test_chaos_rates_bounded_to_unit_interval():
+    assert validate(payload(chaos=chaos(survival_rate=1.2))) != []
+    assert validate(payload(chaos=chaos(baseline_survival_rate=-0.1))) != []
+    assert validate(payload(chaos=chaos(survival_rate=0.0,
+                                        baseline_survival_rate=0.0))) == []
+
+
+def test_chaos_mttr_and_retained_speedup_nullable():
+    # Null is legal: a slice where no scenario needed recovery.
+    assert validate(payload(chaos=chaos(mttr_ns=None,
+                                        retained_speedup=None))) == []
+    assert validate(payload(chaos=chaos(mttr_ns=-1.0))) != []
+    assert validate(payload(chaos=chaos(retained_speedup=0))) != []
+
+
+def test_chaos_violation_counts_non_negative_ints():
+    assert validate(payload(chaos=chaos(invariant_violations=-1))) != []
+    assert validate(payload(chaos=chaos(watchdog_hangs=1.5))) != []
+    assert validate(payload(chaos=chaos(invariant_violations=2,
+                                        watchdog_hangs=1))) == []
+
+
 def test_smoke_capture_populates_cases_per_second(tmp_path):
     """End-to-end: a smoke bench capture records a positive throughput
-    (the cases/second figure of merit) and validates under schema v2."""
+    (the cases/second figure of merit) plus the chaos survival metrics,
+    and validates under schema v3."""
     out = tmp_path / "bench.json"
     subprocess.run(
         [sys.executable, str(REPO_ROOT / "scripts" / "bench.py"),
@@ -149,6 +209,10 @@ def test_smoke_capture_populates_cases_per_second(tmp_path):
     assert data["cases_per_second"] > 0
     assert data["cases_per_second"] == pytest.approx(
         len(data["experiments"]) / data["wall_clock_s"], rel=0.05)
+    assert data["chaos"]["scenarios"] >= 60
+    assert data["chaos"]["survival_rate"] >= 0.95
+    assert data["chaos"]["invariant_violations"] == 0
+    assert data["chaos"]["watchdog_hangs"] == 0
 
 
 def test_checked_in_trajectory_point_is_valid():
@@ -161,3 +225,7 @@ def test_checked_in_trajectory_point_is_valid():
     for entry in data["experiments"]:
         assert 0.0 <= entry["overlap_efficiency"]["T3-MCA"] <= 1.0
         assert "hidden_comm_ns" in entry
+    assert data["chaos"]["scenarios"] >= 200
+    assert data["chaos"]["survival_rate"] >= 0.95
+    assert data["chaos"]["invariant_violations"] == 0
+    assert data["chaos"]["watchdog_hangs"] == 0

@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint check smoke-cache smoke-faults smoke-obs smoke-engine \
-	smoke-chaos bench profile results clean-cache
+	smoke-chaos smoke-trace bench profile results clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,7 +17,8 @@ lint:
 	fi
 
 # Everything CI runs: the tier-1 suite plus lint and the smoke tests.
-check: test lint smoke-cache smoke-faults smoke-obs smoke-engine smoke-chaos
+check: test lint smoke-cache smoke-faults smoke-obs smoke-engine \
+	smoke-chaos smoke-trace
 
 # Cache smoke test: figure16 twice; the second run must hit the persistent
 # sweep cache (zero simulations), be much faster, and render identically.
@@ -45,6 +46,12 @@ smoke-engine:
 # a seeded mini chaos campaign (100% resilient survival).
 smoke-chaos:
 	$(PYTHON) scripts/smoke_chaos.py
+
+# Trace smoke test: post-hoc decomposition of a saved trace matches the
+# live profiler bit-for-bit, save byte-determinism, loader round-trip,
+# headless timeline render, and the `runner trace` CLI.
+smoke-trace:
+	$(PYTHON) scripts/smoke_trace.py
 
 # Capture a bench trajectory point (results/BENCH_0003.json) and
 # validate it against the schema.

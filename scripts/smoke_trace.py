@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Smoke test for the trace layer (the `make smoke-trace` target).
+
+The trace-intelligence contract is *post-hoc fidelity*: querying a saved
+trace must reproduce exactly what the live observability stack measured
+on the same run.  Five end-to-end checks on a cheap fused TP=4 run:
+
+1. **Consistency** — the overlap decomposition computed post-hoc from a
+   saved trace file equals the live ``obs.profiler.decompose`` numbers
+   bit-for-bit (compute/comm/hidden/exposed; no tolerance), and both
+   stage attributions match dict-for-dict;
+2. **Byte determinism** — saving the same recorder twice produces
+   byte-identical files;
+3. **Round-trip** — ``TraceRecorder.load`` returns a recorder whose
+   re-save is byte-identical, and ``TraceQuery.from_file`` sees the same
+   span population as ``TraceQuery.from_recorder``;
+4. **Headless timeline** — ``render_timeline`` produces a non-empty
+   fixed-width render without a terminal (import/layout regression net
+   for the TUI);
+5. **CLI** — ``runner trace`` exits 0 on the saved file and emits valid
+   pass JSON.
+
+Exit status 0 on success; prints a diagnosis and exits 1 otherwise.
+"""
+
+import io
+import json
+import pathlib
+import sys
+import tempfile
+from contextlib import redirect_stdout
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.trace import TraceRecorder              # noqa: E402
+from repro.config import table1_system                      # noqa: E402
+from repro.experiments import sublayer_sweep                # noqa: E402
+from repro.experiments.common import _fresh_topology, scaled_shape  # noqa: E402
+from repro.models import zoo                                # noqa: E402
+from repro.obs import MetricsRegistry                       # noqa: E402
+from repro.obs import profiler                              # noqa: E402
+from repro.t3.fusion import FusedGEMMRS                     # noqa: E402
+from repro.trace import (                                   # noqa: E402
+    TraceQuery,
+    attribute_plan_stages_query,
+    attribute_stages_query,
+    decompose_query,
+    render_timeline,
+)
+from repro.trace.cli import main as trace_cli               # noqa: E402
+
+
+def fused_run():
+    """One fused GEMM-RS run with registry + decomposition-grade trace."""
+    sub = zoo.t_nlg().sublayer("OP", 4)
+    system = table1_system(n_gpus=sub.tp)
+    tiles_n = max(1, sub.gemm.n // system.gemm.macro_tile_n)
+    rows_needed = -(-sub.tp // tiles_n)  # ceil
+    shape = scaled_shape(sub.gemm, sublayer_sweep.FAST_SCALE,
+                         min_m=rows_needed * system.gemm.macro_tile_m)
+    registry = MetricsRegistry()
+    env, topo = _fresh_topology(system, "mca", obs=registry)
+    trace = TraceRecorder(record_dram=True)
+    env.trace = trace
+    FusedGEMMRS(topo, shape, calibrate_mca=True).run()
+    return registry, trace
+
+
+def check_consistency(registry, trace, path, failures):
+    live = profiler.decompose(registry)
+    query = TraceQuery.from_file(path)
+    posthoc = decompose_query(query)
+    fields = ("compute_ns", "comm_ns", "hidden_ns", "exposed_ns")
+    mismatched = [f for f in fields
+                  if getattr(live, f) != getattr(posthoc, f)]
+    if mismatched:
+        for f in mismatched:
+            failures.append(
+                f"post-hoc {f} diverges from live profiler: "
+                f"{getattr(posthoc, f)!r} != {getattr(live, f)!r}")
+        return None
+    live_stages = [s.__dict__ for s in profiler.attribute_stages(registry)]
+    post_stages = [s.__dict__ for s in attribute_stages_query(query)]
+    if live_stages != post_stages:
+        failures.append("post-hoc GEMM-stage attribution diverges from "
+                        f"live: {post_stages} != {live_stages}")
+        return None
+    live_plan = [s.__dict__
+                 for s in profiler.attribute_plan_stages(registry)]
+    post_plan = [s.__dict__ for s in attribute_plan_stages_query(query)]
+    if live_plan != post_plan:
+        failures.append("post-hoc plan-stage attribution diverges from "
+                        f"live: {post_plan} != {live_plan}")
+        return None
+    print(f"OK consistency: live == post-hoc exactly "
+          f"(compute {live.compute_ns:.0f} ns, comm {live.comm_ns:.0f} ns, "
+          f"hidden {live.hidden_ns:.0f} ns, exposed {live.exposed_ns:.0f} "
+          f"ns; {len(live_stages)} GEMM stages, {len(live_plan)} plan "
+          "phases)")
+    return query
+
+
+def check_determinism(trace, registry, path, workdir, failures):
+    again = workdir / "again.trace.json"
+    trace.save(str(again), registry=registry)
+    first = pathlib.Path(path).read_bytes()
+    second = again.read_bytes()
+    if first != second:
+        failures.append("saving the same recorder twice produced "
+                        f"different bytes ({len(first)} vs {len(second)})")
+        return
+    print(f"OK determinism: save twice -> byte-identical "
+          f"({len(first)} bytes)")
+
+
+def check_round_trip(trace, registry, path, workdir, failures):
+    loaded = TraceRecorder.load(path)
+    resaved = workdir / "resaved.trace.json"
+    loaded.save(str(resaved), registry=registry)
+    if resaved.read_bytes() != pathlib.Path(path).read_bytes():
+        failures.append("load -> save round-trip is not byte-identical")
+        return
+    live = TraceQuery.from_recorder(trace, registry=registry)
+    from_file = TraceQuery.from_file(path)
+    if len(live) != len(from_file):
+        failures.append(f"from_recorder sees {len(live)} spans but "
+                        f"from_file sees {len(from_file)}")
+        return
+    print(f"OK round-trip: load/save byte-identical; recorder and file "
+          f"queries both hold {len(live)} spans")
+
+
+def check_timeline(query, failures):
+    text = render_timeline(query, width=100)
+    lines = text.splitlines()
+    if len(lines) < 3 or not any("%" in line for line in lines):
+        failures.append("headless timeline render looks empty:\n" + text)
+        return
+    print(f"OK timeline: headless render, {len(lines)} lines x "
+          "100 columns")
+
+
+def check_cli(path, workdir, failures):
+    report = workdir / "report.json"
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        status = trace_cli([str(path), "--pass", "decomposition",
+                            "--pass", "critical-path",
+                            "--json", str(report)])
+    if status != 0:
+        failures.append(f"trace CLI exited {status}:\n{buffer.getvalue()}")
+        return
+    payload = json.loads(report.read_text())
+    names = [entry["pass"] for entry in payload["passes"]]
+    if names != ["decomposition", "critical-path"]:
+        failures.append(f"trace CLI JSON holds passes {names}")
+        return
+    print(f"OK cli: runner trace exit 0, JSON report with "
+          f"{len(names)} passes")
+
+
+def main() -> int:
+    failures = []
+    registry, trace = fused_run()
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = pathlib.Path(tmp)
+        path = workdir / "fused.trace.json"
+        trace.save(str(path), registry=registry)
+
+        query = check_consistency(registry, trace, str(path), failures)
+        check_determinism(trace, registry, str(path), workdir, failures)
+        check_round_trip(trace, registry, str(path), workdir, failures)
+        if query is not None:
+            check_timeline(query, failures)
+        check_cli(path, workdir, failures)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print("smoke-trace passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,21 +7,42 @@ simulator's components record spans as they run:
 * GEMM / collective kernel executions (one track per GPU),
 * DMA commands (trigger -> remote completion),
 * inter-GPU link serialization spans,
-* per-channel DRAM service spans (optional — high volume).
+* per-channel DRAM service spans (optional — high volume),
+* fault / resilience incidents (instant markers, when those layers fire).
 
 ``save("run.json")`` writes a file loadable in ``chrome://tracing`` or
 `Perfetto <https://ui.perfetto.dev>`_, which renders the paper's Figure 7
 choreography directly: staggered GEMM stages, Tracker-triggered DMAs
 racing down the ring, and the memory system underneath.
 
-Timestamps are exported in microseconds (the trace format's unit).
+Trace-format contract (see ``docs/tracing.md``)
+-----------------------------------------------
+Timestamps are exported in microseconds (the trace format's display
+unit), but every span event additionally carries its **exact**
+nanosecond endpoints in ``args.start_ns`` / ``args.end_ns`` so post-hoc
+analysis (:mod:`repro.trace`) reproduces live interval arithmetic
+bit-for-bit — the us columns are views, not the source of truth.
+Zero-length spans are emitted as instant ("i") events rather than being
+inflated to a fake duration.  Output is byte-deterministic: tids are
+assigned from the sorted ``(group, track)`` set, events are sorted, and
+JSON is dumped with sorted keys and compact separators, so two saves of
+the same run diff clean.  ``save(path, registry=...)`` embeds the
+:class:`~repro.obs.MetricsRegistry` both as Perfetto counter tracks and
+as an aggregate snapshot under the top-level ``"t3"`` key.
 """
 
 from __future__ import annotations
 
 import json
+import pathlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
+
+#: schema tag written under the top-level "t3" key of saved traces.
+TRACE_SCHEMA = 1
+
+#: args keys reserved by the exporter for exact span endpoints.
+_EXACT_KEYS = ("start_ns", "end_ns")
 
 
 @dataclass(frozen=True)
@@ -38,13 +59,64 @@ class TraceSpan:
         if self.end_ns < self.start_ns:
             raise ValueError(f"span {self.name!r} ends before it starts")
 
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    def sort_key(self):
+        return (self.start_ns, self.end_ns, self.group, self.track,
+                self.category, self.name)
+
+
+def events_to_spans(events: Sequence[Dict[str, Any]]) -> List[TraceSpan]:
+    """Reconstruct :class:`TraceSpan`\\ s from Chrome trace events.
+
+    Complete ("X") and instant ("i"/"I") events become spans; counter and
+    metadata events are skipped (see
+    :meth:`~repro.trace.TraceQuery.from_file` for counters).  Events
+    written by :meth:`TraceRecorder.to_chrome_events` round-trip exactly
+    via their ``args.start_ns``/``args.end_ns``; foreign traces (e.g. an
+    nsys Chrome export) fall back to ``ts``/``dur`` microseconds.
+    """
+    names: Dict[Any, str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            names[(event.get("pid"), event.get("tid"))] = \
+                event.get("args", {}).get("name", "")
+    spans: List[TraceSpan] = []
+    for event in events:
+        ph = event.get("ph")
+        if ph not in ("X", "i", "I"):
+            continue
+        args = event.get("args") or {}
+        if "start_ns" in args and "end_ns" in args:
+            start_ns = float(args["start_ns"])
+            end_ns = float(args["end_ns"])
+        else:
+            start_ns = float(event.get("ts", 0.0)) * 1e3
+            end_ns = start_ns + float(event.get("dur", 0.0)) * 1e3
+        user_args = {key: value for key, value in args.items()
+                     if key not in _EXACT_KEYS}
+        track = names.get((event.get("pid"), event.get("tid")))
+        if not track:
+            track = str(event.get("tid", "?"))
+        spans.append(TraceSpan(
+            name=str(event.get("name", "")),
+            category=str(event.get("cat", "")),
+            start_ns=start_ns, end_ns=end_ns,
+            track=track, group=str(event.get("pid", "sim")),
+            args=user_args or None))
+    return spans
+
 
 @dataclass
 class TraceRecorder:
     """Collects spans; converts to Chrome's JSON event array."""
 
     spans: List[TraceSpan] = field(default_factory=list)
-    #: record per-request DRAM service spans (noisy; off by default).
+    #: record per-request DRAM service spans (noisy; off by default, but
+    #: required for decomposition-grade traces — post-hoc hidden/exposed
+    #: math needs the comm-stream DRAM service intervals).
     record_dram: bool = False
 
     def span(self, name: str, category: str, start_ns: float, end_ns: float,
@@ -53,6 +125,12 @@ class TraceRecorder:
         self.spans.append(TraceSpan(name, category, start_ns, end_ns,
                                     track, group, args))
 
+    def instant(self, name: str, category: str, at_ns: float, track: str,
+                group: str = "incidents",
+                args: Optional[Dict[str, Any]] = None) -> None:
+        """A zero-length marker (fault injections, recovery actions)."""
+        self.span(name, category, at_ns, at_ns, track, group, args)
+
     def __len__(self) -> int:
         return len(self.spans)
 
@@ -60,42 +138,88 @@ class TraceRecorder:
         return [s for s in self.spans if s.category == category]
 
     def to_chrome_events(self) -> List[Dict[str, Any]]:
-        """Complete ("X") events plus thread-name metadata."""
+        """Complete ("X") / instant ("i") events plus thread-name metadata.
+
+        Byte-deterministic: tids come from the sorted ``(group, track)``
+        set, metadata precedes span events, and span events are emitted
+        in ``(start, end, group, track, ...)`` order.  Exact nanosecond
+        endpoints ride in ``args`` (see the module docstring's format
+        contract); zero-length spans become instant events instead of
+        being inflated to a fake 1 ps duration.
+        """
+        tracks = sorted({(span.group, span.track) for span in self.spans})
+        tids = {key: index + 1 for index, key in enumerate(tracks)}
         events: List[Dict[str, Any]] = []
-        tracks: Dict[tuple, int] = {}
-        for span in sorted(self.spans, key=lambda s: s.start_ns):
-            key = (span.group, span.track)
-            tid = tracks.setdefault(key, len(tracks) + 1)
-            events.append({
-                "name": span.name,
-                "cat": span.category,
-                "ph": "X",
-                "ts": span.start_ns / 1e3,
-                "dur": max(span.end_ns - span.start_ns, 0.001) / 1e3,
-                "pid": span.group,
-                "tid": tid,
-                "args": span.args or {},
-            })
-        for (group, track), tid in tracks.items():
+        for (group, track), tid in sorted(tids.items()):
             events.append({
                 "name": "thread_name", "ph": "M", "pid": group, "tid": tid,
                 "args": {"name": track},
             })
+        for span in sorted(self.spans, key=TraceSpan.sort_key):
+            args = dict(span.args or {})
+            args["start_ns"] = span.start_ns
+            args["end_ns"] = span.end_ns
+            event = {
+                "name": span.name,
+                "cat": span.category,
+                "ts": span.start_ns / 1e3,
+                "pid": span.group,
+                "tid": tids[(span.group, span.track)],
+                "args": args,
+            }
+            if span.end_ns > span.start_ns:
+                event["ph"] = "X"
+                event["dur"] = (span.end_ns - span.start_ns) / 1e3
+            else:
+                event["ph"] = "i"
+                event["s"] = "t"       # instant scoped to its thread
+            events.append(event)
         return events
 
     def save(self, path: str, registry=None,
              max_samples_per_track: Optional[int] = None) -> None:
         """Write the Chrome-format JSON; passing an
         :class:`~repro.obs.MetricsRegistry` merges its gauges/series in
-        as counter tracks on the same timeline."""
+        as counter tracks on the same timeline and embeds its aggregate
+        snapshot under the top-level ``"t3"`` key (the input to post-hoc
+        analysis passes that need counters, e.g. arbiter deferrals).
+
+        Output is compact (no spaces) with sorted keys, and parent
+        directories are created on demand.
+        """
         events = self.to_chrome_events()
+        payload: Dict[str, Any] = {
+            "traceEvents": events,
+            "displayTimeUnit": "ns",
+            "t3": {"schema": TRACE_SCHEMA},
+        }
         if registry is not None:
             from repro.obs.perfetto import merge_into_trace
-            events = merge_into_trace(events, registry,
-                                      max_samples_per_track)
-        payload = {"traceEvents": events, "displayTimeUnit": "ns"}
-        with open(path, "w") as handle:
-            json.dump(payload, handle)
+            payload["traceEvents"] = merge_into_trace(
+                events, registry, max_samples_per_track)
+            payload["t3"]["registry"] = registry.snapshot()
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w") as handle:
+            json.dump(payload, handle, sort_keys=True,
+                      separators=(",", ":"))
+
+    @classmethod
+    def load(cls, path: str) -> "TraceRecorder":
+        """Round-trip a saved trace back into a recorder.
+
+        The single span loader shared by tests and
+        :class:`~repro.trace.TraceQuery`; accepts both this exporter's
+        files and any Chrome JSON (object-with-``traceEvents`` or bare
+        event array).
+        """
+        with open(path) as handle:
+            payload = json.load(handle)
+        events = payload if isinstance(payload, list) \
+            else payload.get("traceEvents", [])
+        recorder = cls()
+        recorder.spans = events_to_spans(events)
+        return recorder
 
     def summary(self) -> Dict[str, int]:
         out: Dict[str, int] = {}

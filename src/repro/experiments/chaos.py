@@ -235,13 +235,21 @@ class Attempt:
 def _build_env(spec: TopologySpec, system: SystemConfig, mc_policy: str,
                plan: FaultPlan,
                resilience: Optional[ResiliencePolicy],
-               check_invariants: bool = True):
+               check_invariants: bool = True,
+               trace=None, obs=None):
     """Fresh environment + topology for one run.  The resilience runtime
     attaches *before* the topology wires so statically-degraded links are
     reported to its fault-observed feed."""
     env = Environment()
     env.configure_watchdog(max_events=WATCHDOG_EVENTS)
+    if trace is not None:
+        env.trace = trace
+    if obs is not None:
+        env.obs = obs
     env.faults = FaultInjector(plan)
+    env.faults.bind_env(env)
+    if obs is not None:
+        env.faults.bind_obs(obs)
     if check_invariants:
         env.invariants = InvariantChecker(env)
     runtime = (ResilienceRuntime(resilience).attach(env)
@@ -256,12 +264,12 @@ def _build_env(spec: TopologySpec, system: SystemConfig, mc_policy: str,
 
 def _attempt_fused(scenario: ChaosScenario, system: SystemConfig,
                    resilience: Optional[ResiliencePolicy],
-                   plan_override=None) -> Attempt:
+                   plan_override=None, trace=None, obs=None) -> Attempt:
     """One fused GEMM-RS run; failures come back diagnosed, not raised."""
     mca = scenario.scheduler == "T3-MCA"
     env, topo, runtime = _build_env(
         scenario.topology, system, "mca" if mca else "compute-priority",
-        scenario.plan, resilience)
+        scenario.plan, resilience, trace=trace, obs=obs)
     collective_plan = None
     try:
         fused = FusedGEMMRS(topo, CHAOS_SHAPE, calibrate_mca=mca,
@@ -574,9 +582,29 @@ def _system_for(n_gpus: int) -> SystemConfig:
     return _SYSTEMS[n_gpus]
 
 
+def trace_scenario(scenario: ChaosScenario, system: SystemConfig,
+                   trace_out: str) -> None:
+    """Save a decomposition-grade trace of one scenario's resilient
+    fused attempt: spans + fault/resilience incident markers + counter
+    tracks + registry snapshot, the input to ``runner trace``."""
+    from repro.analysis.trace import TraceRecorder
+    from repro.obs import MetricsRegistry
+    trace = TraceRecorder(record_dram=True)
+    registry = MetricsRegistry()
+    _attempt_fused(scenario, system, resilience=ResiliencePolicy(),
+                   trace=trace, obs=registry)
+    trace.save(trace_out, registry=registry)
+
+
 def run(fast: bool = True, seeds: Optional[int] = None,
-        progress=None) -> ChaosResult:
-    """Run the campaign (240 scenarios fast, 480 full)."""
+        progress=None, trace_out: Optional[str] = None) -> ChaosResult:
+    """Run the campaign (240 scenarios fast, 480 full).
+
+    ``trace_out`` additionally saves a trace of one representative
+    scenario's resilient run (the first severe dropped-DMA T3-MCA cell —
+    faults manifest *and* recoveries fire, so the incident overlay has
+    something to show).
+    """
     n_seeds = seeds if seeds is not None else (FAST_SEEDS if fast
                                                else FULL_SEEDS)
     result = ChaosResult()
@@ -587,4 +615,12 @@ def run(fast: bool = True, seeds: Optional[int] = None,
         result.outcomes.append(outcome)
         if progress is not None:
             progress(outcome)
+    if trace_out is not None:
+        representative = next(
+            (s for s in scenarios if s.kind == "dropped-dma"
+             and s.severity == "severe" and s.scheduler == "T3-MCA"),
+            scenarios[0])
+        trace_scenario(representative,
+                       _system_for(representative.topology.n_gpus),
+                       trace_out)
     return result

@@ -141,12 +141,16 @@ def _fresh_topology(system: SystemConfig, policy: str,
                     check_invariants: bool = False,
                     obs=None,
                     resilience=None,
+                    trace=None,
                     ) -> Tuple[Environment, RingTopology]:
     env = Environment()
     if obs is not None:
         env.obs = obs
+    if trace is not None:
+        env.trace = trace
     if faults is not None:
         env.faults = FaultInjector(faults)
+        env.faults.bind_env(env)
         if obs is not None:
             env.faults.bind_obs(obs)
     if check_invariants:
@@ -161,10 +165,11 @@ def _run_sequential(system: SystemConfig, shape: GEMMShape,
                     record_traffic: bool = False,
                     faults: Optional[FaultPlan] = None,
                     check_invariants: bool = False,
-                    obs=None, resilience=None):
+                    obs=None, resilience=None, trace=None):
     """GEMM on all GPUs, then ring-RS, then ring-AG; returns parts."""
     env, topo = _fresh_topology(system, "compute-priority", record_traffic,
-                                faults, check_invariants, obs, resilience)
+                                faults, check_invariants, obs, resilience,
+                                trace)
     kernels = []
     for gpu in topo.gpus:
         grid = TileGrid(shape, system.gemm, n_cus=system.compute.n_cus)
@@ -191,9 +196,10 @@ def _run_fused(system: SystemConfig, shape: GEMMShape, config: RunConfig,
                record_traffic: bool = False,
                faults: Optional[FaultPlan] = None,
                check_invariants: bool = False,
-               obs=None, resilience=None):
+               obs=None, resilience=None, trace=None):
     env, topo = _fresh_topology(system, config.mc_policy, record_traffic,
-                                faults, check_invariants, obs, resilience)
+                                faults, check_invariants, obs, resilience,
+                                trace)
     fused = FusedGEMMRS(topo, shape,
                         calibrate_mca=(config.mc_policy == "mca"))
     fused_result = fused.run()
@@ -213,6 +219,7 @@ def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
                        check_invariants: bool = False,
                        obs_sink: Optional[Dict[str, object]] = None,
                        resilience=None,
+                       trace_sink: Optional[Dict[str, object]] = None,
                        ) -> SublayerSuite:
     """Run every requested configuration on one sub-layer GEMM shape.
 
@@ -236,6 +243,13 @@ def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
     runtime stays dormant — and the suite byte-identical — until a fault
     actually manifests, at which point it recovers lost DMA completions
     and evicted Tracker regions in-run.
+
+    ``trace_sink`` mirrors ``obs_sink`` for execution traces: each
+    simulated configuration runs with a fresh decomposition-grade
+    :class:`~repro.analysis.trace.TraceRecorder` (``record_dram=True``)
+    attached, stored under the configuration name.  Like registries,
+    recorders are per-run state — traced suites must bypass the sweep
+    cache.
     """
     wanted = configs or list(KNOWN_CONFIG_NAMES)
     unknown = [name for name in wanted if name not in KNOWN_CONFIG_NAMES]
@@ -251,13 +265,21 @@ def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
         obs_sink[name] = MetricsRegistry()
         return obs_sink[name]
 
+    def _trace(name: str):
+        if trace_sink is None:
+            return None
+        from repro.analysis.trace import TraceRecorder
+        trace_sink[name] = TraceRecorder(record_dram=True)
+        return trace_sink[name]
+
     suite = SublayerSuite(label=label or shape.name, shape=shape,
                           system=system)
 
     topo, gemm_t, rs_t, ag_t = _run_sequential(system, shape, record_traffic,
                                                faults, check_invariants,
                                                obs=_registry("Sequential"),
-                                               resilience=resilience)
+                                               resilience=resilience,
+                                               trace=_trace("Sequential"))
     suite.gemm_time, suite.rs_time, suite.ag_time = gemm_t, rs_t, ag_t
     suite.times["Sequential"] = gemm_t + rs_t + ag_t
     suite.traffic["Sequential"] = collect_breakdown(topo.gpus)
@@ -268,7 +290,7 @@ def run_sublayer_suite(system: SystemConfig, shape: GEMMShape,
         topo_f, _fused, total = _run_fused(
             system, shape, config_by_name(name), record_traffic,
             faults, check_invariants, obs=_registry(name),
-            resilience=resilience)
+            resilience=resilience, trace=_trace(name))
         suite.times[name] = total
         suite.traffic[name] = collect_breakdown(topo_f.gpus)
 

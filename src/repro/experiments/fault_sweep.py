@@ -143,10 +143,30 @@ def _plan_for(kind: str, severity: float) -> Optional[FaultPlan]:
                                    seed=SWEEP_SEED)
 
 
+def _save_trace(sub: SubLayer, fast: bool, kind: str, severity: float,
+                trace_out: str) -> None:
+    """Re-simulate one faulty case off the cache path with trace + obs
+    attached, and save the T3-MCA run's decomposition-grade trace."""
+    from repro.experiments.sublayer_sweep import FAST_SCALE, simulate_case
+    from repro.config import table1_system
+    trace_sink: dict = {}
+    obs_sink: dict = {}
+    simulate_case(sub, FAST_SCALE if fast else 1,
+                  table1_system(n_gpus=sub.tp), configs=list(CONFIGS),
+                  faults=_plan_for(kind, severity), check_invariants=True,
+                  obs_sink=obs_sink, trace_sink=trace_sink)
+    trace_sink["T3-MCA"].save(trace_out, registry=obs_sink["T3-MCA"])
+
+
 def run(fast: bool = True, jobs: Optional[int] = None,
         cases: Optional[Sequence[SubLayer]] = None,
         straggler_factors: Sequence[float] = STRAGGLER_FACTORS,
-        link_factors: Sequence[float] = LINK_FACTORS) -> FaultSweepResult:
+        link_factors: Sequence[float] = LINK_FACTORS,
+        trace_out: Optional[str] = None) -> FaultSweepResult:
+    """Sweep fault severities; ``trace_out`` additionally saves a trace
+    of the first case's T3-MCA run at the *worst* straggler severity (a
+    fresh, uncached simulation — the sweep's cached results are payload
+    only and carry no spans)."""
     selected = list(cases) if cases is not None else default_cases()
     result = FaultSweepResult()
     for kind, severities in (("straggler", straggler_factors),
@@ -161,4 +181,7 @@ def run(fast: bool = True, jobs: Optional[int] = None,
                     kind=kind, severity=severity, label=suite.label,
                     sequential_time=suite.times["Sequential"],
                     t3_time=suite.times["T3-MCA"]))
+    if trace_out is not None and selected:
+        _save_trace(selected[0], fast, "straggler",
+                    list(straggler_factors)[-1], trace_out)
     return result

@@ -8,6 +8,8 @@ Usage::
     python -m repro.experiments.runner figure16 --no-cache
     python -m repro.experiments.runner profile figure16 --config fc2
     python -m repro.experiments.runner figure16 --profile overlap.json
+    python -m repro.experiments.runner scaleout --trace run.trace.json
+    python -m repro.experiments.runner trace run.trace.json --timeline
 
 Sub-layer sweep cases are cached persistently (content-addressed, under
 ``~/.cache/repro-t3`` unless ``--cache-dir`` / ``$REPRO_T3_CACHE_DIR``
@@ -19,6 +21,7 @@ activity it caused, e.g. ``sweep cache: 16 hits, 0 misses, 0 simulated``.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import Callable, Dict
@@ -110,9 +113,27 @@ def run_profile_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_capable(name: str) -> bool:
+    """True when ``EXPERIMENTS[name]`` accepts a ``trace_out`` path."""
+    try:
+        signature = inspect.signature(EXPERIMENTS[name])
+    except (TypeError, ValueError):
+        return False
+    return "trace_out" in signature.parameters
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        # The trace subcommand has its own option surface — delegate the
+        # whole tail to repro.trace.cli rather than double-parsing it.
+        from repro.trace.cli import main as trace_main
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
-        description="T3 reproduction experiment runner")
+        description="T3 reproduction experiment runner",
+        epilog="Additional subcommand: 'trace FILE [...]' — query a "
+               "saved execution trace (analysis passes, JSON reports, "
+               "terminal timeline); see 'trace --help'.")
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "profile"],
                         help="which table/figure to regenerate, or "
@@ -135,6 +156,15 @@ def main(argv=None) -> int:
                              "FILE (with 'profile', dumps that report; "
                              "with other experiments, additionally "
                              "profiles their sweep cases)")
+    parser.add_argument("--trace", dest="trace_out", default=None,
+                        metavar="FILE",
+                        help="save an execution trace of the experiment's "
+                             "representative run to FILE (supported by: "
+                             + ", ".join(sorted(
+                                 name for name in EXPERIMENTS
+                                 if "trace_out" in inspect.signature(
+                                     EXPERIMENTS[name]).parameters))
+                             + "); explore it with the 'trace' subcommand")
     add_sweep_arguments(parser)
     parser.add_argument("--clear-cache", action="store_true",
                         help="delete every persistent sweep-cache entry "
@@ -152,17 +182,35 @@ def main(argv=None) -> int:
               "'profile' subcommand", file=sys.stderr)
         return 2
 
+    if args.trace_out is not None:
+        if args.experiment == "all":
+            print("--trace needs a single experiment, not 'all'",
+                  file=sys.stderr)
+            return 2
+        if not _trace_capable(args.experiment):
+            supported = sorted(name for name in EXPERIMENTS
+                               if _trace_capable(name))
+            print(f"--trace is not supported by {args.experiment!r} "
+                  f"(supported: {', '.join(supported)})", file=sys.stderr)
+            return 2
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     for name in names:
         started = time.time()
         before = sublayer_sweep.cache_stats().snapshot()
-        result = EXPERIMENTS[name](fast=not args.full)
+        if args.trace_out is not None:
+            result = EXPERIMENTS[name](fast=not args.full,
+                                       trace_out=args.trace_out)
+        else:
+            result = EXPERIMENTS[name](fast=not args.full)
         sweep = sublayer_sweep.cache_stats().delta(before)
         print(result.render())
         line = f"[{name} finished in {time.time() - started:.1f}s"
         if sweep.hits or sweep.misses:
             line += f"; sweep cache: {sweep.render()}"
+        if args.trace_out is not None:
+            line += f"; trace saved to {args.trace_out}"
         print(line + "]\n")
 
     if args.profile_out:

@@ -143,10 +143,13 @@ def _run_sequential(system: SystemConfig, shape: GEMMShape,
 
 
 def _run_fused(system: SystemConfig, shape: GEMMShape, gpus_per_node: int,
-               registry: Optional[MetricsRegistry] = None):
+               registry: Optional[MetricsRegistry] = None,
+               trace=None):
     env = Environment()
     if registry is not None:
         env.obs = registry
+    if trace is not None:
+        env.trace = trace
     env.invariants = InvariantChecker(env)
     topo = _make_topology(env, system, gpus_per_node, "mca")
     fused = FusedGEMMRS(topo, shape, calibrate_mca=True)
@@ -155,8 +158,15 @@ def _run_fused(system: SystemConfig, shape: GEMMShape, gpus_per_node: int,
     return fused, result.duration
 
 
-def run(fast: bool = True) -> ScaleoutResult:
-    """Compare single-node vs two-node fused T3 on one sub-layer GEMM."""
+def run(fast: bool = True,
+        trace_out: Optional[str] = None) -> ScaleoutResult:
+    """Compare single-node vs two-node fused T3 on one sub-layer GEMM.
+
+    ``trace_out`` saves a decomposition-grade trace (spans + counter
+    tracks + registry snapshot) of the **2-node fused T3-MCA run** —
+    the case where inter-node exposure concentrates and the post-hoc
+    trace analysis (``runner trace``) has the most to say.
+    """
     scale = 16 if fast else 1
     sub = zoo.t_nlg().sublayer("FC-2", 8)
     shape = scaled_shape(sub.gemm, scale)
@@ -169,7 +179,13 @@ def run(fast: bool = True) -> ScaleoutResult:
     for label, n_nodes, per in cases:
         sequential = _run_sequential(system, shape, per)
         registry = MetricsRegistry()
-        fused, fused_time = _run_fused(system, shape, per, registry)
+        trace = None
+        if trace_out is not None and n_nodes > 1:
+            from repro.analysis.trace import TraceRecorder
+            trace = TraceRecorder(record_dram=True)
+        fused, fused_time = _run_fused(system, shape, per, registry, trace)
+        if trace is not None:
+            trace.save(trace_out, registry=registry)
         rows.append(ScaleoutRow(
             label=label, n_nodes=n_nodes, gpus_per_node=per,
             sequential_us=sequential / 1e3,

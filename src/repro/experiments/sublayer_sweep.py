@@ -138,14 +138,17 @@ def simulate_case(sub: SubLayer, scale: int, system: SystemConfig,
                   configs: Optional[List[str]] = None,
                   faults: Optional[FaultPlan] = None,
                   check_invariants: bool = False,
-                  obs_sink=None, resilience=None) -> SublayerSuite:
+                  obs_sink=None, resilience=None,
+                  trace_sink=None) -> SublayerSuite:
     """Simulate one fully-resolved case (no caching; executor workers and
     the serial path both land here).  ``obs_sink`` opts into per-config
     telemetry registries — profiled calls must stay off the cache path
     (registries are per-run state, not cacheable payload).  ``resilience``
     attaches a dormant-until-fault recovery runtime (not part of the
     cache key: it is byte-transparent on fault-free runs, and faulted
-    chaos runs bypass the cache)."""
+    chaos runs bypass the cache).  ``trace_sink`` mirrors ``obs_sink``
+    with per-config :class:`~repro.analysis.trace.TraceRecorder`\\ s —
+    equally uncacheable, equally passive."""
     # Keep the scaled output chunkable: need >= tp workgroup tiles.
     tiles_n = max(1, sub.gemm.n // system.gemm.macro_tile_n)
     rows_needed = -(-sub.tp // tiles_n)  # ceil
@@ -154,7 +157,8 @@ def simulate_case(sub: SubLayer, scale: int, system: SystemConfig,
     return run_sublayer_suite(system, shape, label=sub.label,
                               configs=configs, faults=faults,
                               check_invariants=check_invariants,
-                              obs_sink=obs_sink, resilience=resilience)
+                              obs_sink=obs_sink, resilience=resilience,
+                              trace_sink=trace_sink)
 
 
 def run_case(sub: SubLayer, fast: bool = True,

@@ -60,6 +60,9 @@ class FaultInjector:
         #: optional repro.resilience.ResilienceRuntime subscriber (see
         #: :meth:`bind_resilience`).
         self._resilience = None
+        #: optional Environment back-reference (see :meth:`bind_env`)
+        #: letting realized faults drop instant markers on ``env.trace``.
+        self._env = None
 
     # -- observability -------------------------------------------------------
 
@@ -79,10 +82,25 @@ class FaultInjector:
         nothing."""
         self._resilience = runtime
 
+    def bind_env(self, env) -> None:
+        """Give the injector a back-reference to its environment so every
+        realized fault also lands as an instant marker on ``env.trace``
+        (category ``"fault"``, track ``gpu<id>``) — the timestamps the
+        trace layer's resilience-incident overlay joins on.  Purely
+        passive: with no trace attached (or no faults realized) nothing
+        changes."""
+        self._env = env
+
     def _record(self, kind: str, gpu_id: int, value: float = 1) -> None:
         self.counts[kind] = self.counts.get(kind, 0) + 1
         if self._obs is not None:
             self._obs.scope(gpu_id, "faults").count(kind, value)
+        env = self._env
+        if env is not None and env.trace is not None:
+            env.trace.instant(
+                name=kind, category="fault", at_ns=env.now,
+                track=f"gpu{gpu_id}", group="incidents",
+                args={"value": value} if value != 1 else None)
         if self._resilience is not None:
             self._resilience.on_fault_observed(kind, gpu_id)
 

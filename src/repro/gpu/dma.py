@@ -186,11 +186,15 @@ class DMAEngine:
             scope.gauge("inflight_bytes").set(
                 self.env.now, self.inflight_bytes)
         if self.env.trace is not None:
+            args = {"bytes": command.nbytes, "chunk": command.chunk_id,
+                    "dst": command.dst_gpu_id}
+            if command.stage is not None:
+                args["stage"] = command.stage
             self.env.trace.span(
                 name=f"{command.command_id}->gpu{command.dst_gpu_id}",
                 category="dma", start_ns=start, end_ns=self.env.now,
                 track=f"GPU{self.gpu.gpu_id}.dma", group="compute",
-                args={"bytes": command.nbytes, "chunk": command.chunk_id})
+                args=args)
         self._deliver_completion(command)
 
     def _deliver_completion(self, command: DMACommand) -> None:

@@ -259,12 +259,15 @@ class HBMChannel:
             gauge.set(now, len(dram_q) + self._in_service)
         trace = env.trace
         if trace is not None and trace.record_dram:
+            args = {"stream": request.stream.value,
+                    "bytes": request.nbytes}
+            if request.chunk_id is not None:
+                args["chunk"] = request.chunk_id
             trace.span(
                 name=request.counter_key, category="dram",
                 start_ns=env._now - duration, end_ns=env._now,
-                track=f"hbm.ch{self.channel_id}", group="memory",
-                args={"stream": request.stream.value,
-                      "bytes": request.nbytes})
+                track=f"gpu{self.gpu_id}.hbm.ch{self.channel_id}",
+                group="memory", args=args)
         self.bytes_serviced += request.nbytes
         request.serviced_at = env._now
         done = request.done

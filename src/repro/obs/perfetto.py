@@ -66,7 +66,10 @@ def _track_events(track: str, samples, limit: Optional[int],
             "ph": "C",
             "ts": when / 1e3,
             "pid": COUNTER_GROUP,
-            "args": {"value": value},
+            # t_ns preserves the exact sample time; the microsecond ts is
+            # a display view (see the trace-format contract in
+            # repro.analysis.trace / docs/tracing.md).
+            "args": {"value": value, "t_ns": when},
         }
         for when, value in samples
     ]
@@ -85,14 +88,11 @@ def merge_into_trace(trace_events: List[Dict[str, Any]],
 def save_merged(path: str, trace, registry: MetricsRegistry,
                 max_samples_per_track: Optional[int] = None) -> None:
     """Write one Chrome-format JSON holding the trace's span events and
-    the registry's counter tracks (``trace`` is a TraceRecorder)."""
-    payload = {
-        "traceEvents": merge_into_trace(trace.to_chrome_events(), registry,
-                                        max_samples_per_track),
-        "displayTimeUnit": "ns",
-    }
-    with open(path, "w") as handle:
-        json.dump(payload, handle)
+    the registry's counter tracks (``trace`` is a TraceRecorder).  Thin
+    alias of ``TraceRecorder.save(path, registry=...)`` so both spellings
+    produce the identical byte-deterministic file."""
+    trace.save(path, registry=registry,
+               max_samples_per_track=max_samples_per_track)
 
 
 def load_counter_tracks(path: str) -> Dict[str, List[Dict[str, Any]]]:

@@ -123,6 +123,20 @@ class ResilienceRuntime:
             return None
         return self.env.obs.scope(*RESILIENCE_SCOPE)
 
+    def _mark(self, name: str, gpu_id: int,
+              args: Optional[dict] = None) -> None:
+        """Drop an instant marker on ``env.trace`` (category
+        ``"resilience"``) so detections and repairs land on the same
+        timeline as the faults that caused them — the join the trace
+        layer's incident overlay performs.  Passive: no trace, no-op."""
+        env = self.env
+        if env is None or env.trace is None:
+            return
+        track = f"gpu{gpu_id}" if gpu_id >= 0 else "system"
+        env.trace.instant(name=name, category="resilience",
+                          at_ns=env.now, track=track,
+                          group="incidents", args=args)
+
     # -- fault-observed feed (from the injector) --------------------------------
 
     def on_fault_observed(self, kind: str, gpu_id: int) -> None:
@@ -133,6 +147,7 @@ class ResilienceRuntime:
         from passive monitoring to active deadline enforcement.
         """
         self.detections += 1
+        self._mark(f"detected.{kind}", gpu_id)
         scope = self._scope()
         if scope is not None:
             scope.count("detections")
@@ -235,6 +250,9 @@ class ResilienceRuntime:
             kind=kind, gpu_id=gpu_id,
             detail=f"re-issued completion for {command.command_id}",
             time_to_detect_ns=detect_ns, time_to_recover_ns=recover_ns))
+        self._mark(kind, gpu_id,
+                   args={"command": command.command_id,
+                         "time_to_recover_ns": recover_ns})
         scope = self._scope()
         if scope is not None:
             scope.count("repairs")
@@ -287,6 +305,8 @@ class ResilienceRuntime:
         tracker.restore_region(entry.key, remaining)
         self._restores[key] = spent + 1
         now = self.env.now if self.env is not None else 0.0
+        self._mark("tracker-restore", tracker.gpu_id,
+                   args={"remaining_bytes": remaining})
         self.recoveries.append(RecoveryRecord(
             kind="tracker-restore", gpu_id=tracker.gpu_id,
             detail=(f"restored region {entry.key} with {remaining} "
@@ -332,6 +352,7 @@ class ResilienceRuntime:
         state (the caller is about to abandon the collective)."""
         if self.machine.state is RunState.DEGRADED:
             self.machine.to(RunState.FAILED)
+        self._mark("run-failed", -1)
         scope = self._scope()
         if scope is not None:
             scope.count("run_failures")

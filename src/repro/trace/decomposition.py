@@ -1,0 +1,165 @@
+"""Post-hoc overlap decomposition: the live profiler's math on a trace.
+
+:mod:`repro.obs.profiler` decomposes a run into compute / hidden /
+exposed time from a live :class:`~repro.obs.MetricsRegistry`.  This
+module computes the *same quantities from the trace spans alone*, so any
+saved Chrome JSON — including one reloaded months after the run — yields
+the identical numbers.
+
+The equivalence is exact, not approximate: the simulator records every
+relevant interval into both sinks at the same code site with the same
+floats (kernel spans in ``gpu.py``, link serialization in
+``primitives.py``, comm-stream DRAM service in ``dram.py``), and the
+exporter round-trips exact nanosecond endpoints through ``args``.  The
+``scripts/smoke_trace.py`` gate enforces bit-for-bit equality of
+``compute_ns`` / ``comm_ns`` / ``hidden_ns`` / ``exposed_ns`` between
+:func:`repro.obs.profiler.decompose` on the live registry and
+:func:`decompose_query` on the saved file.
+
+Category mapping (trace span -> profiler scope):
+
+========  ==========================  =================================
+quantity  registry source             trace source
+========  ==========================  =================================
+compute   ``compute`` scope "kernel"  category ``"kernel"``
+comm      ``link`` scope spans        category ``"link"``
+comm      ``dram`` "comm_service"     category ``"dram"``,
+                                      ``args.stream == "comm"``
+========  ==========================  =================================
+
+Decomposition-grade traces therefore need
+``TraceRecorder(record_dram=True)`` — without DRAM spans the comm set is
+missing its memory-service leg and the numbers diverge from the live
+profiler (``has_dram_spans`` lets callers detect this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs import intervals as iv
+from repro.obs.profiler import (OverlapBreakdown, PlanStageSpan,
+                                StageAttribution)
+from repro.trace.query import TraceQuery
+
+
+def compute_intervals(query: TraceQuery) -> List[iv.Interval]:
+    """Machine-level kernel-execution intervals (merged)."""
+    return query.intervals(category="kernel")
+
+
+def comm_intervals(query: TraceQuery) -> List[iv.Interval]:
+    """Machine-level communication intervals: link serialization plus
+    comm-stream DRAM service, mirroring ``obs.profiler.comm_spans``."""
+    spans = [(s.start_ns, s.end_ns) for s in query.select(category="link")]
+    spans.extend(
+        (s.start_ns, s.end_ns)
+        for s in query.select(
+            category="dram",
+            where=lambda s: (s.args or {}).get("stream") == "comm"))
+    return iv.merge(spans)
+
+
+def has_dram_spans(query: TraceQuery) -> bool:
+    """True when the trace carries comm-stream DRAM service spans (was
+    recorded with ``record_dram=True``) — required for decompositions
+    that match the live profiler."""
+    return any((s.args or {}).get("stream") == "comm"
+               for s in query.select(category="dram"))
+
+
+def decompose_query(query: TraceQuery,
+                    total_ns: Optional[float] = None) -> OverlapBreakdown:
+    """The live profiler's :func:`~repro.obs.profiler.decompose`, post-hoc.
+
+    ``total_ns`` defaults to the trace horizon (last event end), which
+    can differ from the live ``registry.end_time()`` when counter tracks
+    extend past the last span; the four span-derived quantities are
+    always identical to the live run's.
+    """
+    compute = compute_intervals(query)
+    comm = comm_intervals(query)
+    hidden = iv.intersect(comm, compute)
+    exposed = iv.subtract(comm, compute)
+    return OverlapBreakdown(
+        total_ns=query.horizon_ns if total_ns is None else total_ns,
+        compute_ns=iv.total(compute),
+        comm_ns=iv.total(comm),
+        hidden_ns=iv.total(hidden),
+        exposed_ns=iv.total(exposed),
+    )
+
+
+def stage_boundaries_query(query: TraceQuery) -> List[float]:
+    """Per-GEMM-stage critical-path boundaries from the ``stage_end``
+    counter tracks (``gpu<N>.gemm.stage_end``): the slowest GPU's end
+    per stage, mirroring ``obs.profiler.stage_boundaries``."""
+    per_stage: Dict[int, float] = {}
+    for track, samples in query.counters.items():
+        if not track.endswith(".gemm.stage_end"):
+            continue
+        for when, stage in samples:
+            index = int(stage)
+            per_stage[index] = max(per_stage.get(index, 0.0), when)
+    return [per_stage[index] for index in sorted(per_stage)]
+
+
+def attribute_stages_query(query: TraceQuery) -> List[StageAttribution]:
+    """Split each GEMM-stage window into compute / hidden / exposed,
+    post-hoc (``obs.profiler.attribute_stages`` on a trace)."""
+    boundaries = stage_boundaries_query(query)
+    if not boundaries:
+        return []
+    compute = compute_intervals(query)
+    comm = comm_intervals(query)
+    hidden = iv.intersect(comm, compute)
+    exposed = iv.subtract(comm, compute)
+    window_start = compute[0][0] if compute else 0.0
+    attributions: List[StageAttribution] = []
+    for stage, end in enumerate(boundaries):
+        attributions.append(StageAttribution(
+            stage=stage, start_ns=window_start, end_ns=end,
+            compute_ns=iv.total(iv.clip(compute, window_start, end)),
+            hidden_ns=iv.total(iv.clip(hidden, window_start, end)),
+            exposed_ns=iv.total(iv.clip(exposed, window_start, end)),
+        ))
+        window_start = end
+    return attributions
+
+
+def attribute_plan_stages_query(query: TraceQuery,
+                                stage_order: Optional[List[str]] = None,
+                                ) -> List[PlanStageSpan]:
+    """Per-collective-plan-phase overlap attribution, post-hoc.
+
+    DMA spans carry the plan phase their route belongs to in
+    ``args.stage`` (mirroring the ``stage.<name>`` obs spans the live
+    ``attribute_plan_stages`` reads); this groups the machine-wide DMA
+    activity per phase and splits it into hidden / exposed time.
+    """
+    per_stage: Dict[str, List[iv.Interval]] = {}
+    for span in query.select(category="dma"):
+        stage = (span.args or {}).get("stage")
+        if stage is None:
+            continue
+        per_stage.setdefault(str(stage), []).append(
+            (span.start_ns, span.end_ns))
+    if not per_stage:
+        return []
+    compute = compute_intervals(query)
+    names = [s for s in (stage_order or []) if s in per_stage]
+    names += sorted((s for s in per_stage if s not in names),
+                    key=lambda s: min(start for start, _ in per_stage[s]))
+    result: List[PlanStageSpan] = []
+    for stage in names:
+        spans = iv.merge(per_stage[stage])
+        hidden = iv.intersect(spans, compute)
+        result.append(PlanStageSpan(
+            stage=stage,
+            comm_ns=iv.total(spans),
+            hidden_ns=iv.total(hidden),
+            exposed_ns=iv.total(spans) - iv.total(hidden),
+            start_ns=spans[0][0],
+            end_ns=spans[-1][1],
+        ))
+    return result

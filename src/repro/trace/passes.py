@@ -1,0 +1,352 @@
+"""Built-in analysis passes over a :class:`~repro.trace.TraceQuery`.
+
+Each pass is a pure function ``TraceQuery -> PassResult`` producing both
+a machine-readable dict (for ``runner trace --json``) and a rendered
+text block (for the terminal report).  The registry:
+
+========================  =============================================
+pass                      what it answers
+========================  =============================================
+``summary``               what's in this trace — horizon, span counts,
+                          per-track utilization
+``decomposition``         the paper's compute / hidden / exposed split,
+                          post-hoc (must equal the live profiler)
+``stages``                where exposure happens — per-GEMM-stage and
+                          per-collective-plan-phase attribution
+``chunk-flows``           DMA trigger -> link -> DRAM joins per chunk,
+                          with trigger-to-wire latency stats
+``trigger-latency``       the Tracker's trigger-latency distribution
+``deferrals``             MCA arbiter deferral attribution (who held
+                          comm back, and why)
+``incidents``             fault / resilience events overlaid on what
+                          the machine was doing at that instant
+``critical-path``         the backward GEMM->DMA->link->DRAM walk that
+                          explains the finish time
+========================  =============================================
+
+Passes degrade gracefully: one that needs data the trace lacks (e.g.
+``deferrals`` without an embedded registry snapshot) reports *why* in
+its text instead of raising, so ``--pass all`` works on any file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.trace import decomposition as dec
+from repro.trace.query import TraceQuery, counter_view
+
+
+@dataclass
+class PassResult:
+    """One pass's output: ``data`` for JSON, ``text`` for the terminal."""
+
+    name: str
+    data: Dict[str, Any]
+    text: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"pass": self.name, **self.data}
+
+
+def _us(ns: float) -> str:
+    return f"{ns / 1e3:.3f}us"
+
+
+def _distribution(values: List[float]) -> Dict[str, float]:
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def pct(q: float) -> float:
+        return ordered[min(n - 1, int(q * n))]
+
+    return {
+        "count": n,
+        "min": ordered[0],
+        "p50": pct(0.50),
+        "p90": pct(0.90),
+        "p99": pct(0.99),
+        "max": ordered[-1],
+        "mean": sum(ordered) / n,
+    }
+
+
+# -- passes -------------------------------------------------------------------
+
+
+def pass_summary(query: TraceQuery) -> PassResult:
+    lo, hi = query.bounds()
+    categories = {category: len(query.select(category=category))
+                  for category in query.categories()}
+    summaries = [s.to_dict() for s in query.summaries()]
+    lines = [f"trace: {query.source}",
+             f"  window: {_us(lo)} .. {_us(hi)}  "
+             f"({len(query)} spans, {len(query.counters)} counter tracks)",
+             "  spans by category: " + ", ".join(
+                 f"{category}={count}"
+                 for category, count in sorted(categories.items()))]
+    lines.append(f"  {'track':<28}{'spans':>7}{'busy':>12}{'util':>8}")
+    for summary in summaries:
+        lines.append(f"  {summary['track']:<28}{summary['n_spans']:>7}"
+                     f"{_us(summary['busy_ns']):>12}"
+                     f"{100 * summary['utilization']:>7.1f}%")
+    return PassResult("summary", {
+        "source": query.source, "start_ns": lo, "end_ns": hi,
+        "n_spans": len(query), "n_counter_tracks": len(query.counters),
+        "categories": categories, "tracks": summaries,
+    }, "\n".join(lines))
+
+
+def pass_decomposition(query: TraceQuery) -> PassResult:
+    breakdown = dec.decompose_query(query)
+    data = breakdown.to_dict()
+    data["has_dram_spans"] = dec.has_dram_spans(query)
+    lines = ["overlap decomposition (post-hoc):",
+             f"  compute {_us(breakdown.compute_ns)}  "
+             f"comm {_us(breakdown.comm_ns)}  "
+             f"hidden {_us(breakdown.hidden_ns)}  "
+             f"exposed {_us(breakdown.exposed_ns)}",
+             f"  overlap efficiency "
+             f"{100 * breakdown.overlap_efficiency:.1f}% of comm hidden"]
+    if not data["has_dram_spans"]:
+        lines.append("  note: no comm-stream DRAM spans in this trace "
+                     "(recorded without record_dram=True); numbers only "
+                     "cover link serialization")
+    return PassResult("decomposition", data, "\n".join(lines))
+
+
+def pass_stages(query: TraceQuery) -> PassResult:
+    gemm = dec.attribute_stages_query(query)
+    plan = dec.attribute_plan_stages_query(query)
+    data = {"gemm_stages": [stage.to_dict() for stage in gemm],
+            "plan_stages": [stage.to_dict() for stage in plan]}
+    lines: List[str] = []
+    if gemm:
+        lines.append("per-GEMM-stage attribution:")
+        for stage in gemm:
+            lines.append(
+                f"  stage {stage.stage:>2}: {_us(stage.duration_ns):>12}  "
+                f"compute {_us(stage.compute_ns):>12}  "
+                f"hidden {_us(stage.hidden_ns):>12}  "
+                f"exposed {_us(stage.exposed_ns):>12}  [{stage.dominant}]")
+    else:
+        lines.append("per-GEMM-stage attribution: no gemm.stage_end "
+                     "counter tracks in this trace")
+    if plan:
+        lines.append("per-collective-plan-phase attribution:")
+        for span in plan:
+            hidden_pct = (100 * span.hidden_ns / span.comm_ns
+                          if span.comm_ns else 0.0)
+            lines.append(
+                f"  {span.stage:<8} comm {_us(span.comm_ns):>12}  "
+                f"hidden {_us(span.hidden_ns):>12} ({hidden_pct:.1f}%)  "
+                f"exposed {_us(span.exposed_ns):>12}")
+    else:
+        lines.append("per-collective-plan-phase attribution: no DMA spans "
+                     "with a stage tag in this trace")
+    return PassResult("stages", data, "\n".join(lines))
+
+
+def pass_chunk_flows(query: TraceQuery) -> PassResult:
+    flows = query.chunk_flows()
+    if not flows:
+        return PassResult("chunk-flows", {"flows": []},
+                          "chunk flows: no DMA spans in this trace")
+    data = {"flows": [flow.to_dict() for flow in flows]}
+    waits = [flow.trigger_to_wire_ns for flow in flows if flow.links]
+    if waits:
+        data["trigger_to_wire"] = _distribution(waits)
+    matched = sum(1 for flow in flows if flow.links)
+    landed = sum(1 for flow in flows if flow.dram)
+    lines = [f"chunk flows: {len(flows)} DMA commands, "
+             f"{matched} joined to link spans, "
+             f"{landed} joined to DRAM service"]
+    if waits:
+        dist = data["trigger_to_wire"]
+        lines.append(
+            f"  trigger-to-wire latency: p50 {_us(dist['p50'])}  "
+            f"p99 {_us(dist['p99'])}  max {_us(dist['max'])}")
+    total_link = sum(flow.link_ns for flow in flows)
+    total_dram = sum(flow.dram_ns for flow in flows)
+    lines.append(f"  per-flow activity: link {_us(total_link)} total, "
+                 f"dram {_us(total_dram)} total")
+    return PassResult("chunk-flows", data, "\n".join(lines))
+
+
+def pass_trigger_latency(query: TraceQuery) -> PassResult:
+    """Tracker trigger-latency distribution — from the per-completion
+    counter tracks when present, else the snapshot's aggregate stats."""
+    view = counter_view(query, r"^gpu\d+\.tracker\.trigger_latency_ns$")
+    values = view.values()
+    if values:
+        dist = _distribution(values)
+        data = {"source": "counter_tracks", "per_gpu": {
+            track: _distribution([v for _t, v in samples])
+            for track, samples in sorted(view.tracks.items())
+        }, **dist}
+        return PassResult("trigger-latency", data, "\n".join([
+            "tracker trigger latency (per completion):",
+            f"  n={dist['count']}  min {_us(dist['min'])}  "
+            f"p50 {_us(dist['p50'])}  p90 {_us(dist['p90'])}  "
+            f"p99 {_us(dist['p99'])}  max {_us(dist['max'])}",
+        ]))
+    # Fallback: aggregate ValueStats from the embedded registry snapshot.
+    snapshot = query.registry_snapshot or {}
+    merged = {"count": 0, "total": 0.0,
+              "min": float("inf"), "max": float("-inf")}
+    for scope in snapshot.get("scopes", []):
+        if scope.get("component") != "tracker":
+            continue
+        stats = scope.get("observations", {}).get("trigger_latency_ns")
+        if not stats or not stats.get("count"):
+            continue
+        merged["count"] += stats["count"]
+        merged["total"] += stats["total"]
+        merged["min"] = min(merged["min"], stats["min"])
+        merged["max"] = max(merged["max"], stats["max"])
+    if merged["count"]:
+        data = {"source": "registry_snapshot", "count": merged["count"],
+                "min": merged["min"], "max": merged["max"],
+                "mean": merged["total"] / merged["count"]}
+        return PassResult("trigger-latency", data, "\n".join([
+            "tracker trigger latency (snapshot aggregate):",
+            f"  n={data['count']}  min {_us(data['min'])}  "
+            f"mean {_us(data['mean'])}  max {_us(data['max'])}",
+        ]))
+    return PassResult(
+        "trigger-latency", {"source": None, "count": 0},
+        "tracker trigger latency: no tracker data in this trace "
+        "(no counter tracks or registry snapshot)")
+
+
+def pass_deferrals(query: TraceQuery) -> PassResult:
+    """MCA arbiter deferral attribution from the embedded registry
+    snapshot (arbitration decisions are counters, not spans)."""
+    snapshot = query.registry_snapshot or {}
+    per_gpu: Dict[str, Dict[str, float]] = {}
+    totals: Dict[str, float] = {}
+    for scope in snapshot.get("scopes", []):
+        if scope.get("component") != "arbiter":
+            continue
+        counters = scope.get("counters", {})
+        if not counters:
+            continue
+        per_gpu[f"gpu{scope.get('gpu')}"] = dict(counters)
+        for name, value in counters.items():
+            totals[name] = totals.get(name, 0.0) + value
+    if not totals:
+        return PassResult(
+            "deferrals", {"totals": {}, "per_gpu": {}},
+            "arbiter deferrals: no arbiter counters in this trace (saved "
+            "without a registry, or the run used no MCA arbiter)")
+    grants = sum(v for k, v in totals.items()
+                 if k.startswith("comm_grants."))
+    gated = sum(v for k, v in totals.items()
+                if k.startswith("comm_deferrals.t"))
+    busy = totals.get("comm_deferrals.compute_busy", 0.0)
+    full = totals.get("comm_deferrals.queue_full", 0.0)
+    deferred = gated + busy + full
+    rounds = grants + deferred
+    lines = ["arbiter deferral attribution:",
+             f"  comm grants {grants:.0f}  deferrals {deferred:.0f}"
+             + (f"  ({100 * deferred / rounds:.1f}% of comm rounds held)"
+                if rounds else "")]
+    if deferred:
+        lines.append(f"    by occupancy gate: {gated:.0f}   "
+                     f"compute busy: {busy:.0f}   "
+                     f"queue full: {full:.0f}")
+    fires = totals.get("anti_starvation_fires", 0.0)
+    if fires:
+        lines.append(f"  anti-starvation fires: {fires:.0f} "
+                     "(comm granted over waiting compute)")
+    data = {"totals": totals, "per_gpu": per_gpu,
+            "comm_grants": grants, "comm_deferrals": deferred,
+            "deferral_breakdown": {"gate": gated, "compute_busy": busy,
+                                   "queue_full": full}}
+    return PassResult("deferrals", data, "\n".join(lines))
+
+
+def pass_incidents(query: TraceQuery) -> PassResult:
+    """Fault / resilience events joined onto the timeline: for each
+    marker, what the machine was doing on that track at that instant."""
+    incidents = query.incidents()
+    if not incidents:
+        return PassResult("incidents", {"incidents": []},
+                          "incidents: none recorded in this trace")
+    rows: List[Dict[str, Any]] = []
+    lines = [f"incident overlay ({len(incidents)} events):"]
+    for mark in incidents:
+        at = mark.start_ns
+        active = [s for s in query.select(window=(at, at))
+                  if s.category not in ("fault", "resilience")
+                  and s.start_ns <= at <= s.end_ns
+                  and s.end_ns > s.start_ns]
+        active_names = sorted({f"{s.track}:{s.name}" for s in active})
+        rows.append({"name": mark.name, "category": mark.category,
+                     "track": mark.track, "at_ns": at,
+                     "args": mark.args, "active": active_names})
+        overlay = ", ".join(active_names[:3]) if active_names else "idle"
+        if len(active_names) > 3:
+            overlay += f" (+{len(active_names) - 3} more)"
+        lines.append(f"  {_us(at):>14}  [{mark.category}] "
+                     f"{mark.track}: {mark.name}  during: {overlay}")
+    fault_count = sum(1 for m in incidents if m.category == "fault")
+    data = {"incidents": rows, "n_faults": fault_count,
+            "n_resilience": len(incidents) - fault_count}
+    return PassResult("incidents", data, "\n".join(lines))
+
+
+def pass_critical_path(query: TraceQuery) -> PassResult:
+    steps = query.critical_path()
+    if not steps:
+        return PassResult(
+            "critical-path", {"steps": [], "breakdown": {}},
+            "critical path: no spans in the GEMM/DMA/link/DRAM chain")
+    breakdown = query.critical_path_breakdown()
+    data = {"steps": [step.to_dict() for step in steps],
+            "breakdown": breakdown,
+            "path_span_ns": steps[-1].span.end_ns - steps[0].span.start_ns}
+    total = sum(breakdown.values())
+    lines = [f"critical path: {len(steps)} spans covering "
+             f"{_us(data['path_span_ns'])}"]
+    for category, ns in sorted(breakdown.items(),
+                               key=lambda item: -item[1]):
+        share = 100 * ns / total if total else 0.0
+        lines.append(f"  {category:<8} {_us(ns):>14}  ({share:.1f}%)")
+    shown = steps if len(steps) <= 12 else steps[:6] + steps[-6:]
+    lines.append("  walk (chronological):")
+    for index, step in enumerate(shown):
+        if len(steps) > 12 and index == 6:
+            lines.append(f"    ... {len(steps) - 12} steps elided ...")
+        gap = f"  (+{_us(step.slack_ns)} gap)" if step.slack_ns else ""
+        lines.append(f"    {_us(step.span.start_ns):>14} "
+                     f"[{step.span.category}] {step.span.track}: "
+                     f"{step.span.name} ({_us(step.span.duration_ns)})"
+                     f"{gap}")
+    return PassResult("critical-path", data, "\n".join(lines))
+
+
+#: the pass registry, in report order.
+PASSES: Dict[str, Callable[[TraceQuery], PassResult]] = {
+    "summary": pass_summary,
+    "decomposition": pass_decomposition,
+    "stages": pass_stages,
+    "chunk-flows": pass_chunk_flows,
+    "trigger-latency": pass_trigger_latency,
+    "deferrals": pass_deferrals,
+    "incidents": pass_incidents,
+    "critical-path": pass_critical_path,
+}
+
+
+def run_passes(query: TraceQuery,
+               names: Optional[List[str]] = None) -> List[PassResult]:
+    """Run the named passes (default: all) in registry order."""
+    selected = list(PASSES) if not names else names
+    unknown = [name for name in selected if name not in PASSES]
+    if unknown:
+        raise KeyError(
+            f"unknown pass(es) {unknown}; available: {list(PASSES)}")
+    return [PASSES[name](query)
+            for name in PASSES if name in selected]

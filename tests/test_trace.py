@@ -81,3 +81,45 @@ def test_dma_spans_carry_chunk_args():
     for span in trace.by_category("dma"):
         assert span.args is not None
         assert "chunk" in span.args and "bytes" in span.args
+
+
+def test_zero_length_spans_export_as_instants():
+    trace = TraceRecorder()
+    trace.span("tick", "marker", start_ns=5.0, end_ns=5.0, track="t")
+    events = trace.to_chrome_events()
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(instants) == 1
+    assert instants[0]["s"] == "t"
+    assert not [e for e in events if e["ph"] == "X"]
+
+
+def test_events_carry_exact_ns_args():
+    trace = traced_fused_run()
+    events = trace.to_chrome_events()
+    for event in events:
+        if event["ph"] != "X":
+            continue
+        args = event["args"]
+        assert args["end_ns"] - args["start_ns"] > 0
+        assert event["ts"] == pytest.approx(args["start_ns"] / 1e3)
+
+
+def test_save_is_byte_deterministic(tmp_path):
+    trace = traced_fused_run(record_dram=True)
+    first = tmp_path / "a.json"
+    second = tmp_path / "b" / "nested.json"  # parent dirs auto-created
+    trace.save(str(first))
+    trace.save(str(second))
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_load_round_trips_spans(tmp_path):
+    trace = traced_fused_run(record_dram=True)
+    path = tmp_path / "trace.json"
+    trace.save(str(path))
+    loaded = TraceRecorder.load(str(path))
+    assert sorted(s.sort_key() for s in loaded.spans) == \
+        sorted(s.sort_key() for s in trace.spans)
+    resaved = tmp_path / "again.json"
+    loaded.save(str(resaved))
+    assert resaved.read_bytes() == path.read_bytes()

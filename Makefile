@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint check smoke-cache smoke-faults smoke-obs smoke-engine \
-	smoke-chaos smoke-trace bench profile results clean-cache
+	smoke-chaos smoke-trace smoke-policy bench profile results clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,7 +18,7 @@ lint:
 
 # Everything CI runs: the tier-1 suite plus lint and the smoke tests.
 check: test lint smoke-cache smoke-faults smoke-obs smoke-engine \
-	smoke-chaos smoke-trace
+	smoke-chaos smoke-trace smoke-policy
 
 # Cache smoke test: figure16 twice; the second run must hit the persistent
 # sweep cache (zero simulations), be much faster, and render identically.
@@ -52,6 +52,13 @@ smoke-chaos:
 # headless timeline render, and the `runner trace` CLI.
 smoke-trace:
 	$(PYTHON) scripts/smoke_trace.py
+
+# Policy smoke test: StaticPaperPolicy is bit-identical to the
+# pre-refactor inline arbiter, no decision logic remains inline, the
+# adaptive policy survives a chaos slice and strictly reduces exposed
+# communication on the faulty suites.
+smoke-policy:
+	$(PYTHON) scripts/smoke_policy.py
 
 # Capture a bench trajectory point (results/BENCH_0003.json) and
 # validate it against the schema.

@@ -5,9 +5,11 @@ Simulates a small set of sub-layer cases with telemetry attached and
 records, per case: host wall-clock, speedups over Sequential, and the
 overlap efficiency (fraction of communication hidden under compute) of
 every simulated configuration — plus an aggregate ``cases_per_second``
-throughput metric (schema v2) and the resilience campaign's survival
-rate / MTTR (schema v3), so robustness regressions surface in the bench
-trajectory just like performance ones.  The payload follows the schema in
+throughput metric (schema v2), the resilience campaign's survival
+rate / MTTR (schema v3), and the overlap-policy study's
+static-vs-adaptive exposed-communication comparison (schema v4), so
+robustness and policy regressions surface in the bench trajectory just
+like performance ones.  The payload follows the schema in
 :mod:`repro.obs.bench` and lands in ``results/BENCH_0003.json`` by
 default — the checked-in trajectory point CI validates on every push.
 
@@ -35,6 +37,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.config import table1_system                      # noqa: E402
+from repro.experiments import adaptive as adaptive_study    # noqa: E402
 from repro.experiments import chaos as chaos_campaign       # noqa: E402
 from repro.experiments import sublayer_sweep                # noqa: E402
 from repro.experiments.profile import filter_cases          # noqa: E402
@@ -100,6 +103,15 @@ def capture(mode: str) -> dict:
           f"{chaos_summary['survival_rate']:.0%} vs baseline "
           f"{chaos_summary['baseline_survival_rate']:.0%} "
           f"({time.time() - chaos_started:.2f}s)")
+    # Overlap-policy metrics: the cheap static-vs-adaptive probe on the
+    # faulty suites (see repro.experiments.adaptive).
+    policy_started = time.time()
+    policy_block = adaptive_study.quick_policy_point(fast=True).to_dict()
+    print(f"  policy: adaptive "
+          f"{'wins' if policy_block['adaptive_wins'] else 'DOES NOT WIN'}"
+          f", geomean exposed-comm reduction "
+          f"{policy_block['geomean_exposed_reduction']:.2%} "
+          f"({time.time() - policy_started:.2f}s)")
     return bench.build_payload(
         mode=mode,
         captured_at=datetime.datetime.now(datetime.timezone.utc)
@@ -112,6 +124,7 @@ def capture(mode: str) -> dict:
         wall_clock_s=round(elapsed, 3),
         cases_per_second=round(cases_per_second, 4),
         chaos=chaos_summary,
+        policy=policy_block,
         experiments=experiments,
     )
 
@@ -130,11 +143,13 @@ def check(path: pathlib.Path) -> int:
         return 1
     n = len(payload["experiments"])
     chaos_block = payload["chaos"]
+    policy_block = payload["policy"]
     print(f"OK {path}: schema v{payload['schema_version']}, "
           f"mode={payload['mode']}, {n} experiment(s), "
           f"{payload['cases_per_second']} cases/s, chaos survival "
           f"{chaos_block['survival_rate']:.0%} over "
-          f"{chaos_block['scenarios']} scenarios")
+          f"{chaos_block['scenarios']} scenarios, adaptive policy "
+          f"{'wins' if policy_block['adaptive_wins'] else 'does not win'}")
     return 0
 
 

@@ -186,12 +186,119 @@ class MCAConfig(_SerializableConfig):
     #: stream is force-prioritized to avoid starvation.
     starvation_limit_ns: float = 2000.0
 
+    def __post_init__(self) -> None:
+        # The intensity->threshold mapping walks breakpoints and thresholds
+        # pairwise and falls through to the *last* threshold, so exactly
+        # one more threshold than breakpoints must exist.  A silent length
+        # mismatch either dropped candidate thresholds or made some
+        # breakpoints unreachable.
+        if len(self.occupancy_thresholds) != \
+                len(self.intensity_breakpoints) + 1:
+            raise ValueError(
+                f"MCAConfig needs exactly one more occupancy threshold "
+                f"than intensity breakpoint (the last threshold is the "
+                f"below-all-breakpoints fallback); got "
+                f"{len(self.occupancy_thresholds)} thresholds for "
+                f"{len(self.intensity_breakpoints)} breakpoints")
+        if any(b2 >= b1 for b1, b2 in zip(self.intensity_breakpoints,
+                                          self.intensity_breakpoints[1:])):
+            raise ValueError(
+                "MCAConfig intensity_breakpoints must be strictly "
+                f"decreasing (first match wins); got "
+                f"{self.intensity_breakpoints}")
+
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "MCAConfig":
         data = dict(data)
         data["occupancy_thresholds"] = tuple(data["occupancy_thresholds"])
         data["intensity_breakpoints"] = tuple(data["intensity_breakpoints"])
         return cls(**data)
+
+
+#: overlap-policy kinds selectable through configuration.  "recorded"
+#: additionally needs a decision-log path (``decision_log_path``).
+OVERLAP_POLICY_KINDS = ("static", "adaptive", "recorded")
+
+_DEFAULT_POLICY_KIND = "static"
+
+
+def set_default_overlap_policy(kind: str) -> str:
+    """Set the process-wide default overlap-policy kind.
+
+    Newly constructed :class:`OverlapPolicyConfig` (and therefore
+    :class:`SystemConfig`) instances pick this up via the ``kind``
+    default factory — the hook the runner's ``--policy`` flag uses so
+    every experiment module sees the selection without flag plumbing.
+    Returns the previous default so callers can restore it.
+    """
+    if kind not in OVERLAP_POLICY_KINDS:
+        raise ValueError(f"unknown overlap policy kind {kind!r}; pick "
+                         f"from {OVERLAP_POLICY_KINDS}")
+    global _DEFAULT_POLICY_KIND
+    previous = _DEFAULT_POLICY_KIND
+    _DEFAULT_POLICY_KIND = kind
+    return previous
+
+
+def default_overlap_policy_kind() -> str:
+    return _DEFAULT_POLICY_KIND
+
+
+@dataclass(frozen=True)
+class OverlapPolicyConfig(_SerializableConfig):
+    """Selection + tuning of the overlap-policy layer (``repro.policy``).
+
+    Every field is a scalar so the config stays hashable and lands in
+    the sweep-cache key via ``SystemConfig.to_dict`` — two runs that
+    differ only in policy never collide in the cache.  The controller
+    knobs only matter for ``kind="adaptive"``; see ``docs/adaptive.md``
+    for the controller design they parameterize.
+    """
+
+    kind: str = field(default_factory=default_overlap_policy_kind)
+    #: EWMA smoothing factor for the deferral / occupancy signals.
+    ewma_alpha: float = 0.1
+    #: minimum time between threshold retunes at one arbiter site.
+    retune_interval_ns: float = 1000.0
+    #: gate-deferral EWMA above which the occupancy threshold is relaxed
+    #: one step (comm is being held back while compute is absent).
+    relax_watermark: float = 0.15
+    #: gate-deferral EWMA below which a relaxed threshold decays one step
+    #: back toward the static per-kernel pick.
+    tighten_watermark: float = 0.02
+    #: max inter-slice gap the DMA pacer may insert (0 disables pacing).
+    pacing_max_gap_ns: float = 0.0
+    #: per-GPU occupancy-fraction EWMA above which pacing kicks in.
+    pacing_occupancy_watermark: float = 0.85
+    #: max trigger-fire delay under tracker pressure (0 = fire eagerly).
+    eagerness_max_delay_ns: float = 0.0
+    #: capture a replayable DecisionLog of every tunable decision.
+    record_decisions: bool = False
+    #: decision log to replay (required for ``kind="recorded"``).
+    decision_log_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in OVERLAP_POLICY_KINDS:
+            raise ValueError(f"unknown overlap policy kind {self.kind!r}; "
+                             f"pick from {OVERLAP_POLICY_KINDS}")
+        if self.kind == "recorded" and not self.decision_log_path:
+            raise ValueError("kind='recorded' needs a decision_log_path "
+                             "to replay")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.retune_interval_ns <= 0:
+            raise ValueError("retune_interval_ns must be positive")
+        if not 0.0 <= self.tighten_watermark < self.relax_watermark <= 1.0:
+            raise ValueError(
+                "watermarks must satisfy 0 <= tighten < relax <= 1; got "
+                f"tighten={self.tighten_watermark}, "
+                f"relax={self.relax_watermark}")
+        if self.pacing_max_gap_ns < 0:
+            raise ValueError("pacing_max_gap_ns cannot be negative")
+        if not 0.0 <= self.pacing_occupancy_watermark < 1.0:
+            raise ValueError("pacing_occupancy_watermark must be in [0, 1)")
+        if self.eagerness_max_delay_ns < 0:
+            raise ValueError("eagerness_max_delay_ns cannot be negative")
 
 
 @dataclass(frozen=True)
@@ -225,6 +332,7 @@ class SystemConfig(_SerializableConfig):
     tracker: TrackerConfig = field(default_factory=TrackerConfig)
     mca: MCAConfig = field(default_factory=MCAConfig)
     fidelity: FidelityConfig = field(default_factory=FidelityConfig)
+    policy: OverlapPolicyConfig = field(default_factory=OverlapPolicyConfig)
 
     def __post_init__(self) -> None:
         if self.n_gpus < 2:
@@ -236,6 +344,13 @@ class SystemConfig(_SerializableConfig):
 
     def with_fidelity(self, **kwargs) -> "SystemConfig":
         return self.replace(fidelity=dataclasses.replace(self.fidelity, **kwargs))
+
+    def with_policy(self, kind: Optional[str] = None,
+                    **kwargs) -> "SystemConfig":
+        """Overlap-policy variant (``with_fidelity``'s sibling)."""
+        if kind is not None:
+            kwargs["kind"] = kind
+        return self.replace(policy=dataclasses.replace(self.policy, **kwargs))
 
     def scaled_compute(self, factor: float) -> "SystemConfig":
         """The paper's GPU-2X-CU future-hardware study (Section 7.5)."""
@@ -255,6 +370,10 @@ class SystemConfig(_SerializableConfig):
             tracker=TrackerConfig.from_dict(data["tracker"]),
             mca=MCAConfig.from_dict(data["mca"]),
             fidelity=FidelityConfig.from_dict(data["fidelity"]),
+            # Payloads written before the policy layer existed lack the
+            # key; restore them with the static-paper default.
+            policy=(OverlapPolicyConfig.from_dict(data["policy"])
+                    if "policy" in data else OverlapPolicyConfig("static")),
         )
 
 

@@ -27,9 +27,9 @@ import time
 from typing import Callable, Dict
 
 from repro.experiments import (
-    chaos, dp_overlap, extensions, fault_sweep, figure4, figure6,
-    figure15, figure16, figure17, figure18, figure19, figure20, profile,
-    related_work, scaleout, sublayer_sweep, tables, validation,
+    adaptive, chaos, dp_overlap, extensions, fault_sweep, figure4,
+    figure6, figure15, figure16, figure17, figure18, figure19, figure20,
+    profile, related_work, scaleout, sublayer_sweep, tables, validation,
 )
 
 EXPERIMENTS: Dict[str, Callable] = {
@@ -58,6 +58,8 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fault-sweep": fault_sweep.run,
     # Resilience study: the recovery ladder vs a seeded fault campaign.
     "chaos": chaos.run,
+    # Overlap-policy study: static vs adaptive MCA control.
+    "adaptive": adaptive.run,
 }
 
 
@@ -165,11 +167,22 @@ def main(argv=None) -> int:
                                  if "trace_out" in inspect.signature(
                                      EXPERIMENTS[name]).parameters))
                              + "); explore it with the 'trace' subcommand")
+    parser.add_argument("--policy", default=None,
+                        choices=("static", "adaptive"),
+                        help="overlap policy every simulated run defaults "
+                             "to (default: static, the paper's fixed "
+                             "thresholds; 'adaptive' enables the EWMA "
+                             "controller of docs/adaptive.md).  Policy "
+                             "selection is part of the sweep-cache key, "
+                             "so runs never collide across policies")
     add_sweep_arguments(parser)
     parser.add_argument("--clear-cache", action="store_true",
                         help="delete every persistent sweep-cache entry "
                              "before running")
     args = parser.parse_args(argv)
+    if args.policy is not None:
+        from repro.config import set_default_overlap_policy
+        set_default_overlap_policy(args.policy)
     configure_sweep(args)
     if args.clear_cache:
         removed = sublayer_sweep.clear_disk_cache()

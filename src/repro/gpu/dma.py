@@ -163,13 +163,31 @@ class DMAEngine:
 
     def _run(self, command: DMACommand):
         start = self.env.now
-        slice_procs = [
-            self.env.process(
-                self._slice_proc(command, wg_id, nbytes),
-                name=f"dma-slice.{command.command_id}.{wg_id}",
-            )
-            for wg_id, nbytes in command.wg_slices
-        ]
+        # Command pacing is an overlap-policy decision: a positive gap
+        # staggers slice launches to soften the DRAM/link burst; gap 0
+        # (the paper's behavior, and every run without a policy) takes
+        # the launch-all-at-once path unchanged.
+        overlap = self.env.overlap
+        gap = 0.0
+        if overlap is not None:
+            gap = overlap.dma_pacing_gap(self.gpu.gpu_id, command)
+        if gap > 0.0:
+            slice_procs = []
+            for index, (wg_id, nbytes) in enumerate(command.wg_slices):
+                if index:
+                    yield self.env.timeout(gap)
+                slice_procs.append(self.env.process(
+                    self._slice_proc(command, wg_id, nbytes),
+                    name=f"dma-slice.{command.command_id}.{wg_id}",
+                ))
+        else:
+            slice_procs = [
+                self.env.process(
+                    self._slice_proc(command, wg_id, nbytes),
+                    name=f"dma-slice.{command.command_id}.{wg_id}",
+                )
+                for wg_id, nbytes in command.wg_slices
+            ]
         yield self.env.all_of(slice_procs)
         self._finished_at[command.command_id] = self.env.now
         self.inflight_commands -= 1

@@ -112,24 +112,40 @@ class MCAPolicy(ArbitrationPolicy):
     Compute priority, an occupancy gate on the communication stream, and a
     starvation timer that force-issues comm if it has waited longer than
     ``starvation_limit_ns``.
+
+    The *tunable* parts — the intensity -> threshold mapping and the
+    occupancy-gate admission — are owned by the overlap-policy layer
+    (:mod:`repro.policy`): this class keeps the structural arbitration
+    (stream priority, starvation guard, issue bookkeeping) and delegates
+    every threshold decision to the environment's
+    :class:`~repro.policy.OverlapPolicy` through a per-channel
+    :class:`~repro.policy.McaSite` handle.
     """
 
     name = "mca"
 
-    def __init__(self, config: MCAConfig):
+    def __init__(self, config: MCAConfig, overlap=None,
+                 gpu_id: int = 0, channel_id: int = 0):
         self.config = config
-        # Before the first calibration (the producer's isolated first
-        # stage, Section 4.5) use the most conservative finite threshold.
-        self._threshold: Optional[int] = config.occupancy_thresholds[0]
+        if overlap is None:
+            # Direct construction (tests, standalone channels): the
+            # paper's static policy, unattached to any environment.
+            from repro.policy import StaticPaperPolicy
+            overlap = StaticPaperPolicy()
+        self.overlap = overlap
+        self._site = overlap.register_mca_site(gpu_id, channel_id, config)
         self._last_comm_issue = 0.0
         self.calibrations: list[float] = []
 
     @property
     def threshold(self) -> Optional[int]:
-        return self._threshold
+        """The live occupancy threshold (may move mid-kernel under an
+        adaptive overlap policy)."""
+        return self._site.threshold
 
     def calibrate(self, memory_intensity: float) -> None:
-        """Map observed kernel memory intensity to an occupancy threshold.
+        """Producer-kernel stage boundary: hand the observed memory
+        intensity to the overlap policy, which retargets the threshold.
 
         Memory-hungry kernels get a small threshold (communication must
         leave DRAM queues nearly empty); compute-bound kernels allow more
@@ -138,14 +154,7 @@ class MCAPolicy(ArbitrationPolicy):
         if memory_intensity < 0:
             raise ValueError("memory intensity cannot be negative")
         self.calibrations.append(memory_intensity)
-        thresholds = self.config.occupancy_thresholds
-        for breakpoint_value, threshold in zip(
-            self.config.intensity_breakpoints, thresholds
-        ):
-            if memory_intensity >= breakpoint_value:
-                self._threshold = threshold
-                return
-        self._threshold = thresholds[-1]
+        self.overlap.on_calibration(self._site, memory_intensity)
 
     def choose(self, state: ArbiterState) -> Optional[Stream]:
         if state.compute_waiting > 0:
@@ -158,22 +167,25 @@ class MCAPolicy(ArbitrationPolicy):
             ):
                 return Stream.COMM
             return Stream.COMPUTE
-        if state.comm_waiting > 0 and self._comm_allowed(state):
+        if state.comm_waiting > 0 \
+                and self.overlap.comm_admission(self._site, state):
             return Stream.COMM
         return None
-
-    def _comm_allowed(self, state: ArbiterState) -> bool:
-        if self._threshold is None:
-            return True
-        return state.dram_occupancy < self._threshold
 
     def on_issue(self, stream: Stream, now: float) -> None:
         if stream is Stream.COMM:
             self._last_comm_issue = now
 
 
-def make_policy(name: str, mca_config: Optional[MCAConfig] = None) -> ArbitrationPolicy:
-    """Factory used by the memory controller ("one policy per channel")."""
+def make_policy(name: str, mca_config: Optional[MCAConfig] = None,
+                overlap=None, gpu_id: int = 0,
+                channel_id: int = 0) -> ArbitrationPolicy:
+    """Factory used by the memory controller ("one policy per channel").
+
+    ``overlap`` / ``gpu_id`` / ``channel_id`` identify the MCA policy's
+    decision site in the environment's overlap-policy layer; without
+    them an unbound static policy serves the channel.
+    """
     if name == "round-robin":
         return RoundRobinPolicy()
     if name == "compute-priority":
@@ -181,5 +193,6 @@ def make_policy(name: str, mca_config: Optional[MCAConfig] = None) -> Arbitratio
     if name == "mca":
         if mca_config is None:
             raise ValueError("MCA policy needs an MCAConfig")
-        return MCAPolicy(mca_config)
+        return MCAPolicy(mca_config, overlap=overlap, gpu_id=gpu_id,
+                         channel_id=channel_id)
     raise ValueError(f"unknown arbitration policy {name!r}")

@@ -22,6 +22,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.config import SystemConfig
 from repro.memory.arbiter import make_policy
+from repro.policy import resolve_overlap_policy
 from repro.memory.dram import HBMChannel
 from repro.memory.request import AccessKind, MemRequest, Stream
 from repro.sim.engine import BaseEvent, Environment
@@ -48,6 +49,11 @@ class MemoryController:
         self._out_comm = 0
         self._waiters_compute: List[BaseEvent] = []
         self._waiters_comm: List[BaseEvent] = []
+        # One overlap policy per environment: building a controller is
+        # what pulls the SystemConfig.policy selection into the run (the
+        # DMA engines and trigger controllers consult the same instance
+        # through env.overlap).
+        overlap = resolve_overlap_policy(env, config)
         memory = config.memory
         self.channels = [
             HBMChannel(
@@ -56,7 +62,9 @@ class MemoryController:
                 bandwidth_bytes_per_ns=memory.channel_bandwidth,
                 queue_depth=memory.dram_queue_depth,
                 ccdwl_factor=memory.nmc_ccdwl_factor,
-                policy=make_policy(policy_name, config.mca),
+                policy=make_policy(policy_name, config.mca,
+                                   overlap=overlap, gpu_id=gpu_id,
+                                   channel_id=i),
                 on_serviced=self._on_serviced,
                 gpu_id=gpu_id,
             )

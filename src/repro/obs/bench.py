@@ -28,26 +28,36 @@ from typing import Any, Dict, List
 #: campaign's survival rate and MTTR (see ``repro.experiments.chaos``) —
 #: so robustness is tracked as a first-class trajectory metric alongside
 #: throughput.
+#:
+#: v4: adds the required top-level ``policy`` object — the overlap-policy
+#: study's static-vs-adaptive exposed-communication comparison (see
+#: ``repro.experiments.adaptive``) — so a regression that stops the
+#: adaptive controller from paying on the faulty suites fails the bench
+#: gate, not just the smoke test.
 BENCH_SCHEMA = "t3-bench"
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 #: modes a bench point can be captured in.
 BENCH_MODES = ("smoke", "fast", "full")
 
 _REQUIRED_TOP = ("schema", "schema_version", "mode", "captured_at",
                  "host", "wall_clock_s", "cases_per_second", "chaos",
-                 "experiments")
+                 "policy", "experiments")
 _REQUIRED_EXPERIMENT = ("case", "wall_clock_s", "speedups",
                         "overlap_efficiency")
 #: the chaos-campaign metrics every bench point carries (v3).
 _REQUIRED_CHAOS = ("scenarios", "survival_rate", "baseline_survival_rate",
                    "mttr_ns", "retained_speedup", "invariant_violations",
                    "watchdog_hangs")
+#: the overlap-policy metrics every bench point carries (v4).
+_REQUIRED_POLICY = ("suites", "adaptive_wins", "geomean_exposed_reduction")
+_REQUIRED_POLICY_SUITE = ("static_exposed_ns", "adaptive_exposed_ns",
+                          "adaptive_wins")
 
 
 def build_payload(mode: str, captured_at: str, host: Dict[str, str],
                   wall_clock_s: float, cases_per_second: float,
-                  chaos: Dict[str, Any],
+                  chaos: Dict[str, Any], policy: Dict[str, Any],
                   experiments: List[Dict[str, Any]]) -> Dict[str, Any]:
     """Assemble a bench point; raises on anything the schema rejects."""
     payload = {
@@ -59,6 +69,7 @@ def build_payload(mode: str, captured_at: str, host: Dict[str, str],
         "wall_clock_s": wall_clock_s,
         "cases_per_second": cases_per_second,
         "chaos": chaos,
+        "policy": policy,
         "experiments": experiments,
     }
     errors = validate(payload)
@@ -96,6 +107,7 @@ def validate(payload: Any) -> List[str]:
     if not _positive_number(payload["cases_per_second"]):
         errors.append("cases_per_second must be a positive number")
     errors.extend(_validate_chaos(payload["chaos"]))
+    errors.extend(_validate_policy(payload["policy"]))
     experiments = payload["experiments"]
     if not isinstance(experiments, list) or not experiments:
         errors.append("experiments must be a non-empty list")
@@ -137,6 +149,49 @@ def _validate_chaos(entry: Any) -> List[str]:
         if not isinstance(value, int) or isinstance(value, bool) \
                 or value < 0:
             errors.append(f"chaos.{key} must be a non-negative integer")
+    return errors
+
+
+def _validate_policy(entry: Any) -> List[str]:
+    """The v4 policy block: per-suite exposed-communication comparison of
+    the static paper policy vs the adaptive controller."""
+    if not isinstance(entry, dict):
+        return [f"policy must be an object, got {type(entry).__name__}"]
+    errors = [f"policy missing key {key!r}"
+              for key in _REQUIRED_POLICY if key not in entry]
+    if errors:
+        return errors
+    suites = entry["suites"]
+    if not isinstance(suites, dict) or not suites:
+        errors.append("policy.suites must be a non-empty object")
+    else:
+        for name, suite in suites.items():
+            where = f"policy.suites[{name!r}]"
+            if not isinstance(suite, dict):
+                errors.append(f"{where} must be an object")
+                continue
+            missing = [key for key in _REQUIRED_POLICY_SUITE
+                       if key not in suite]
+            if missing:
+                errors.extend(f"{where} missing key {key!r}"
+                              for key in missing)
+                continue
+            for key in ("static_exposed_ns", "adaptive_exposed_ns"):
+                if not _non_negative_number(suite[key]):
+                    errors.append(f"{where}.{key} must be a non-negative "
+                                  "number")
+            if not isinstance(suite["adaptive_wins"], bool):
+                errors.append(f"{where}.adaptive_wins must be a boolean")
+    if not isinstance(entry["adaptive_wins"], bool):
+        errors.append("policy.adaptive_wins must be a boolean")
+    reduction = entry["geomean_exposed_reduction"]
+    # A reduction fraction: 0.01 = 1% of static exposure removed; it can
+    # go negative on a regression but can never reach 1 (that would mean
+    # zero exposed communication left).
+    if not isinstance(reduction, (int, float)) \
+            or isinstance(reduction, bool) or not reduction < 1.0:
+        errors.append("policy.geomean_exposed_reduction must be a number "
+                      "below 1")
     return errors
 
 

@@ -1,0 +1,65 @@
+"""repro.policy — the overlap-policy layer (see ``docs/adaptive.md``).
+
+Every tunable overlap decision (arbiter occupancy threshold, comm
+admission, DMA pacing, trigger eagerness) flows through one
+:class:`OverlapPolicy` attached to the environment as ``env.overlap``.
+"""
+
+from repro.config import OverlapPolicyConfig, SystemConfig
+from repro.policy.adaptive import AdaptiveMcaPolicy
+from repro.policy.base import (
+    Decision,
+    DecisionLog,
+    McaSite,
+    OverlapPolicy,
+    paper_threshold_index,
+)
+from repro.policy.recorded import RecordedPolicy
+from repro.policy.static import StaticPaperPolicy
+
+__all__ = [
+    "AdaptiveMcaPolicy",
+    "Decision",
+    "DecisionLog",
+    "McaSite",
+    "OverlapPolicy",
+    "OverlapPolicyConfig",
+    "RecordedPolicy",
+    "StaticPaperPolicy",
+    "make_overlap_policy",
+    "paper_threshold_index",
+    "resolve_overlap_policy",
+]
+
+
+def make_overlap_policy(config: OverlapPolicyConfig,
+                        log: DecisionLog = None) -> OverlapPolicy:
+    """Build the policy a config selects (``log`` overrides the path a
+    ``kind="recorded"`` config would load from disk)."""
+    if config.kind == "static":
+        return StaticPaperPolicy(record=config.record_decisions)
+    if config.kind == "adaptive":
+        return AdaptiveMcaPolicy(config)
+    if config.kind == "recorded":
+        if log is None:
+            log = DecisionLog.load(config.decision_log_path)
+        return RecordedPolicy(log)
+    raise ValueError(f"unknown overlap policy kind {config.kind!r}")
+
+
+def resolve_overlap_policy(env, system: SystemConfig) -> OverlapPolicy:
+    """The environment's policy, creating + binding it on first use.
+
+    Called wherever a component needs the decision seam (the memory
+    controller, today).  An explicitly pre-attached ``env.overlap``
+    (tests, replay harnesses) wins over the config selection; it is
+    bound to the environment if the caller had not done so already.
+    """
+    policy = env.overlap
+    if policy is None:
+        policy = make_overlap_policy(system.policy)
+        policy.bind(env)
+        env.overlap = policy
+    elif policy.env is None:
+        policy.bind(env)
+    return policy

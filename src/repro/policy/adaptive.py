@@ -1,0 +1,165 @@
+"""Online EWMA controller: resource-aware MCA retuning mid-kernel.
+
+The static paper policy picks one occupancy threshold per kernel from
+its *isolated* first stage and never revisits it.  That pick goes wrong
+exactly where the ROADMAP says it does: under degraded links or a
+straggling GPU the producer GEMM stretches, the fused ring's partials
+arrive while DRAM queues still carry compute traffic, and a tight
+threshold (5 of a 32-deep queue) keeps deferring communication that the
+now-elongated compute could easily have hidden — the reduce-scatter
+tail runs *exposed* after the GEMM ends.
+
+This controller closes the loop from the signals the obs layer already
+publishes, but sampled directly at the decision sites (the policy works
+with or without a registry attached):
+
+* per-site **gate-deferral EWMA** — the fraction of comm-admission
+  rounds the occupancy gate said no.  Persistently high while compute
+  is absent means the gate, not bandwidth, is the bottleneck: relax the
+  threshold one step along the paper's own candidate ladder
+  (5 -> 10 -> 30 -> unlimited).
+* per-site **occupancy EWMA** and a per-GPU aggregate — when queues are
+  genuinely full the deferrals are organic; relaxing would only let
+  comm trample compute, so the controller also *decays* back toward the
+  static pick when deferrals subside.
+* **tracker pressure** (live regions / capacity) — an optional
+  eagerness signal: under extreme pressure, trigger fires can be held
+  briefly to batch DMA traffic (off by default).
+
+Retunes are rate-limited (``retune_interval_ns``), never go *below*
+the kernel's static pick (the adaptive policy only spends permissiveness
+the static table already considered safe), reset at every calibration
+(new kernel, new baseline), and each one is emitted as a per-decision
+trace instant + :class:`~repro.policy.base.DecisionLog` entry so
+``runner trace --pass policy-decisions`` can attribute wins post-hoc.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import OverlapPolicyConfig
+from repro.policy.base import McaSite, OverlapPolicy, paper_threshold_index
+
+
+class AdaptiveMcaPolicy(OverlapPolicy):
+    """EWMA-driven threshold / pacing controller over the MCA ladder."""
+
+    name = "adaptive-mca"
+
+    def __init__(self, config: OverlapPolicyConfig, record: bool = False):
+        super().__init__(record=record or config.record_decisions)
+        self.config = config
+        #: per-GPU DRAM occupancy-fraction EWMA (pacing signal).
+        self._gpu_occupancy: Dict[int, float] = {}
+        #: per-GPU tracker live-region fraction (eagerness signal).
+        self._gpu_pressure: Dict[int, float] = {}
+        self.retunes = 0
+
+    # -- calibration ------------------------------------------------------
+
+    def on_calibration(self, site: McaSite, memory_intensity: float) -> None:
+        # New producer kernel: restart from the paper's static pick and
+        # let the deferral evidence re-accumulate.
+        index = paper_threshold_index(site.config, memory_intensity)
+        site.base_index = index
+        site.index = index
+        site.threshold = site.config.occupancy_thresholds[index]
+        site.ewma_deferral = 0.0
+        site.last_retune_ns = 0.0 if self.env is None else self.env._now
+        self._decide("threshold", site.gpu_id, site.channel_id,
+                     site.threshold, reason="calibration")
+
+    # -- the admission hot path -------------------------------------------
+
+    def comm_admission(self, site: McaSite, state) -> bool:
+        config = self.config
+        alpha = config.ewma_alpha
+        occupancy_fraction = state.dram_occupancy / state.dram_capacity
+        threshold = site.threshold
+        admit = threshold is None or state.dram_occupancy < threshold
+        # Signal updates first, then the (rate-limited) retune: a retune
+        # acts on evidence that includes this round.
+        site.ewma_deferral += alpha * ((0.0 if admit else 1.0)
+                                       - site.ewma_deferral)
+        site.ewma_occupancy += alpha * (occupancy_fraction
+                                        - site.ewma_occupancy)
+        previous = self._gpu_occupancy.get(site.gpu_id, 0.0)
+        self._gpu_occupancy[site.gpu_id] = \
+            previous + alpha * (occupancy_fraction - previous)
+        now = state.now
+        if now - site.last_retune_ns >= config.retune_interval_ns:
+            site.last_retune_ns = now
+            if self._retune(site):
+                threshold = site.threshold
+                admit = threshold is None \
+                    or state.dram_occupancy < threshold
+        return admit
+
+    def _retune(self, site: McaSite) -> bool:
+        """One controller step along the candidate-threshold ladder."""
+        config = self.config
+        ladder = site.config.occupancy_thresholds
+        index = site.index
+        if site.ewma_deferral > config.relax_watermark \
+                and index < len(ladder) - 1:
+            index += 1
+            reason = "relax"
+        elif site.ewma_deferral < config.tighten_watermark \
+                and index > site.base_index:
+            index -= 1
+            reason = "tighten"
+        else:
+            return False
+        site.index = index
+        site.threshold = ladder[index]
+        # Half-life the evidence so one relax doesn't immediately cascade
+        # into the next before new rounds accumulate.
+        site.ewma_deferral *= 0.5
+        self.retunes += 1
+        self._decide("threshold", site.gpu_id, site.channel_id,
+                     site.threshold, reason=reason)
+        env = self.env
+        if env is not None and env.obs is not None:
+            env.obs.scope(site.gpu_id, "policy").count(f"retunes.{reason}")
+        return True
+
+    # -- pacing and eagerness ---------------------------------------------
+
+    def dma_pacing_gap(self, gpu_id: int, command) -> float:
+        config = self.config
+        max_gap = config.pacing_max_gap_ns
+        if max_gap <= 0.0:
+            return 0.0
+        occupancy = self._gpu_occupancy.get(gpu_id, 0.0)
+        watermark = config.pacing_occupancy_watermark
+        if occupancy <= watermark:
+            return 0.0
+        # Scale linearly from the watermark to saturation.
+        fraction = min(1.0, (occupancy - watermark) / (1.0 - watermark))
+        gap = max_gap * fraction
+        self._decide("pacing", gpu_id, -1, gap, reason="occupancy")
+        env = self.env
+        if env is not None and env.obs is not None:
+            env.obs.scope(gpu_id, "policy").observe("pacing_gap_ns", gap)
+        return gap
+
+    def trigger_fire_delay(self, gpu_id: int, block) -> float:
+        max_delay = self.config.eagerness_max_delay_ns
+        if max_delay <= 0.0:
+            return 0.0
+        pressure = self._gpu_pressure.get(gpu_id, 0.0)
+        if pressure <= 0.0:
+            return 0.0
+        delay = max_delay * min(1.0, pressure)
+        self._decide("eagerness", gpu_id, -1, delay, reason="pressure")
+        return delay
+
+    def observe_tracker_pressure(self, gpu_id: int, live_regions: int,
+                                 capacity: int) -> None:
+        if capacity <= 0:
+            return
+        fraction = live_regions / capacity
+        previous = self._gpu_pressure.get(gpu_id, 0.0)
+        self._gpu_pressure[gpu_id] = \
+            previous + self.config.ewma_alpha * (fraction - previous)

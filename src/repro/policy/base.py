@@ -1,0 +1,235 @@
+"""The overlap-policy protocol: every tunable overlap decision, one seam.
+
+Before this layer existed, the knobs that trade compute interference
+against communication exposure were hard-coded where they were consumed:
+
+* the kernel-intensity -> occupancy-threshold mapping and the
+  ``dram_occupancy < threshold`` comm-admission gate lived inside
+  ``memory/arbiter.MCAPolicy`` (Section 4.5 of the paper),
+* the trigger controller always fired a completed block's DMA
+  immediately (``t3/trigger.py``),
+* the DMA engine always launched every slice of a command at once
+  (``gpu/dma.py``),
+* the Tracker's live-region occupancy was telemetry only
+  (``t3/tracker.py``).
+
+An :class:`OverlapPolicy` owns all four decision points.  Components
+consult ``env.overlap`` (resolved once per :class:`~repro.sim.engine.
+Environment` from ``SystemConfig.policy``); per-arbiter state lives in
+:class:`McaSite` handles so the hot path reads plain attributes.
+
+Three implementations ship (see their modules):
+
+* :class:`~repro.policy.static.StaticPaperPolicy` — the paper's static
+  per-kernel choices, bit-identical to the pre-refactor behavior;
+* :class:`~repro.policy.adaptive.AdaptiveMcaPolicy` — an online EWMA
+  controller over the deferral/occupancy telemetry;
+* :class:`~repro.policy.recorded.RecordedPolicy` — replays a
+  :class:`DecisionLog` for deterministic debugging.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.config import MCAConfig
+
+
+def paper_threshold_index(config: MCAConfig, memory_intensity: float) -> int:
+    """Section 4.5's static mapping: the first breakpoint the intensity
+    meets picks the paired threshold; below all of them, the last
+    (most permissive) threshold applies."""
+    for index, breakpoint_value in enumerate(config.intensity_breakpoints):
+        if memory_intensity >= breakpoint_value:
+            return index
+    return len(config.occupancy_thresholds) - 1
+
+
+class McaSite:
+    """Per-``(gpu, channel)`` arbiter decision state.
+
+    A plain slotted handle: ``threshold`` is read on every arbitration
+    round (via ``MCAPolicy.threshold``), so lookups must be attribute
+    loads, not dict hops.  The EWMA fields are only touched by the
+    adaptive controller.
+    """
+
+    __slots__ = ("gpu_id", "channel_id", "config", "threshold",
+                 "base_index", "index", "ewma_deferral", "ewma_occupancy",
+                 "last_retune_ns")
+
+    def __init__(self, gpu_id: int, channel_id: int, config: MCAConfig):
+        self.gpu_id = gpu_id
+        self.channel_id = channel_id
+        self.config = config
+        # Before the first calibration (the producer's isolated first
+        # stage, Section 4.5) use the most conservative finite threshold.
+        self.base_index = 0
+        self.index = 0
+        self.threshold: Optional[int] = config.occupancy_thresholds[0]
+        self.ewma_deferral = 0.0
+        self.ewma_occupancy = 0.0
+        self.last_retune_ns = 0.0
+
+
+@dataclass
+class Decision:
+    """One tunable decision, as recorded / replayed.
+
+    ``value`` is the decision outcome: the new occupancy threshold
+    (None = unlimited) for ``kind="threshold"``, the inserted gap/delay
+    in ns for ``kind="pacing"`` / ``kind="eagerness"``.
+    """
+
+    seq: int
+    t_ns: float
+    kind: str                      # "threshold" | "pacing" | "eagerness"
+    gpu: int
+    channel: int                   # -1 for GPU-scoped decisions
+    value: Optional[float]
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seq": self.seq, "t_ns": self.t_ns, "kind": self.kind,
+                "gpu": self.gpu, "channel": self.channel,
+                "value": self.value, "reason": self.reason}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Decision":
+        return cls(seq=data["seq"], t_ns=data["t_ns"], kind=data["kind"],
+                   gpu=data["gpu"], channel=data["channel"],
+                   value=data["value"], reason=data.get("reason", ""))
+
+
+@dataclass
+class DecisionLog:
+    """The replayable record of a policy's tunable decisions."""
+
+    policy: str = "unknown"
+    decisions: List[Decision] = field(default_factory=list)
+
+    def append(self, decision: Decision) -> None:
+        self.decisions.append(decision)
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "schema": "t3-decision-log",
+            "policy": self.policy,
+            "decisions": [d.to_dict() for d in self.decisions],
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DecisionLog":
+        data = json.loads(text)
+        if data.get("schema") != "t3-decision-log":
+            raise ValueError("not a t3-decision-log payload")
+        return cls(policy=data.get("policy", "unknown"),
+                   decisions=[Decision.from_dict(d)
+                              for d in data["decisions"]])
+
+    def save(self, path) -> pathlib.Path:
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n")
+        return target
+
+    @classmethod
+    def load(cls, path) -> "DecisionLog":
+        return cls.from_json(pathlib.Path(path).read_text())
+
+
+class OverlapPolicy:
+    """Base class: observe telemetry signals, own every overlap decision.
+
+    One instance serves a whole :class:`~repro.sim.engine.Environment`
+    (all GPUs); per-arbiter state lives in the :class:`McaSite` handles
+    handed out by :meth:`register_mca_site`.  Decision methods must be
+    pure with respect to the simulation — a policy may *never* schedule
+    events itself; it only returns values its callers act on.
+    """
+
+    name = "abstract"
+
+    def __init__(self, record: bool = False):
+        self.env = None
+        self.log: Optional[DecisionLog] = \
+            DecisionLog(policy=self.name) if record else None
+        self.sites: List[McaSite] = []
+        self._seq = 0
+
+    def bind(self, env) -> "OverlapPolicy":
+        """Attach to an environment (for clocks, trace and obs access)."""
+        self.env = env
+        return self
+
+    # -- registration -----------------------------------------------------
+
+    def register_mca_site(self, gpu_id: int, channel_id: int,
+                          config: MCAConfig) -> McaSite:
+        site = McaSite(gpu_id, channel_id, config)
+        self.sites.append(site)
+        return site
+
+    # -- decision points --------------------------------------------------
+
+    def on_calibration(self, site: McaSite, memory_intensity: float) -> None:
+        """Producer-kernel stage boundary: retarget ``site.threshold``."""
+        raise NotImplementedError
+
+    def comm_admission(self, site: McaSite, state) -> bool:
+        """May the communication stream issue right now?  ``state`` is a
+        :class:`~repro.memory.arbiter.ArbiterState` view."""
+        raise NotImplementedError
+
+    def trigger_fire_delay(self, gpu_id: int, block) -> float:
+        """Extra ns to hold a completed block before firing its DMA
+        (0 = fire immediately, the paper's eager trigger)."""
+        return 0.0
+
+    def dma_pacing_gap(self, gpu_id: int, command) -> float:
+        """Inter-slice stagger in ns for one DMA command (0 = launch all
+        slices at once, the paper's behavior)."""
+        return 0.0
+
+    # -- telemetry feeds (passive; never decisions) -----------------------
+
+    def observe_tracker_pressure(self, gpu_id: int, live_regions: int,
+                                 capacity: int) -> None:
+        """Tracker live-region occupancy changed (a pressure signal)."""
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def decision_log(self) -> Optional[DecisionLog]:
+        return self.log
+
+    def _decide(self, kind: str, gpu: int, channel: int,
+                value: Optional[float], reason: str) -> None:
+        """Record one tunable decision into the log and the trace.
+
+        Cheap when neither is attached — callers may invoke this
+        unconditionally at decision points.
+        """
+        self._seq += 1
+        env = self.env
+        trace = None if env is None else env.trace
+        if self.log is None and trace is None:
+            return
+        now = 0.0 if env is None else env._now
+        if self.log is not None:
+            self.log.append(Decision(seq=self._seq, t_ns=now, kind=kind,
+                                     gpu=gpu, channel=channel, value=value,
+                                     reason=reason))
+        if trace is not None:
+            shown = "inf" if value is None else f"{value:g}"
+            trace.instant(
+                name=f"{kind}={shown}", category="policy", at_ns=now,
+                track=f"gpu{gpu}.policy", group="policy",
+                args={"kind": kind, "gpu": gpu, "channel": channel,
+                      "value": "inf" if value is None else value,
+                      "reason": reason, "policy": self.name})

@@ -1,0 +1,103 @@
+"""Replay a recorded decision log — deterministic policy debugging.
+
+``RecordedPolicy`` re-applies the *tunable* decisions (threshold
+retargets, pacing gaps, eagerness delays) a previous run logged, in
+recorded order, gated on recorded time.  Admissions themselves are not
+replayed: they are recomputed from the replayed thresholds, which is
+what makes the log small and the replay honest — if the surrounding
+simulation diverges, admissions diverge visibly instead of being
+papered over.
+
+A faithful replay of the run that produced the log is bit-identical to
+it: the decision sites are visited in the same order at the same times,
+so each queue pop lines up with the call that recorded it.
+"""
+
+from __future__ import annotations
+
+from typing import Deque, Dict, List, Tuple
+
+from collections import deque
+
+from repro.config import MCAConfig
+from repro.policy.base import Decision, DecisionLog, McaSite, OverlapPolicy
+
+
+class RecordedPolicy(OverlapPolicy):
+    """Replays the threshold / pacing / eagerness decisions of a log."""
+
+    name = "recorded"
+
+    def __init__(self, log: DecisionLog):
+        super().__init__(record=False)
+        self.source = log
+        #: (kind, gpu, channel) -> decisions in recorded (seq) order.
+        self._queues: Dict[Tuple[str, int, int], Deque[Decision]] = {}
+        for decision in sorted(log.decisions, key=lambda d: d.seq):
+            key = (decision.kind, decision.gpu, decision.channel)
+            self._queues.setdefault(key, deque()).append(decision)
+        self.replayed = 0
+
+    # -- replay machinery -------------------------------------------------
+
+    def _threshold_queue(self, site: McaSite) -> Deque[Decision]:
+        return self._queues.get(
+            ("threshold", site.gpu_id, site.channel_id), _EMPTY)
+
+    def _apply_due_thresholds(self, site: McaSite, now: float) -> None:
+        queue = self._threshold_queue(site)
+        while queue and queue[0].t_ns <= now:
+            decision = queue.popleft()
+            value = decision.value
+            site.threshold = None if value is None else int(value)
+            self.replayed += 1
+
+    def _pop_due(self, kind: str, gpu: int, now: float) -> float:
+        queue = self._queues.get((kind, gpu, -1), _EMPTY)
+        if queue and queue[0].t_ns <= now:
+            self.replayed += 1
+            return float(queue.popleft().value or 0.0)
+        return 0.0
+
+    # -- decision points --------------------------------------------------
+
+    def register_mca_site(self, gpu_id: int, channel_id: int,
+                          config: MCAConfig) -> McaSite:
+        site = super().register_mca_site(gpu_id, channel_id, config)
+        # Replays of decisions recorded at t=0 (pre-run calibrations).
+        self._apply_due_thresholds(site, self._now())
+        return site
+
+    def on_calibration(self, site: McaSite, memory_intensity: float) -> None:
+        self._apply_due_thresholds(site, self._now())
+
+    def comm_admission(self, site: McaSite, state) -> bool:
+        self._apply_due_thresholds(site, state.now)
+        threshold = site.threshold
+        return threshold is None or state.dram_occupancy < threshold
+
+    def dma_pacing_gap(self, gpu_id: int, command) -> float:
+        return self._pop_due("pacing", gpu_id, self._now())
+
+    def trigger_fire_delay(self, gpu_id: int, block) -> float:
+        return self._pop_due("eagerness", gpu_id, self._now())
+
+    # -- helpers ----------------------------------------------------------
+
+    def _now(self) -> float:
+        return float("inf") if self.env is None else self.env._now
+
+    @property
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+
+_EMPTY: Deque[Decision] = deque()
+
+
+def decisions_by_kind(log: DecisionLog) -> Dict[str, List[Decision]]:
+    """Group a log's decisions by kind (inspection convenience)."""
+    grouped: Dict[str, List[Decision]] = {}
+    for decision in log.decisions:
+        grouped.setdefault(decision.kind, []).append(decision)
+    return grouped

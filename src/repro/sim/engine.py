@@ -314,6 +314,11 @@ class Environment:
         #: once a fault has actually manifested (armed), so healthy runs
         #: stay bit-identical with the runtime attached or absent.
         self.resilience = None
+        #: optional repro.policy.OverlapPolicy; components consult it at
+        #: their overlap decision points when set (resolved lazily from
+        #: SystemConfig.policy by the memory controller).  When None,
+        #: components take their built-in static paths unchanged.
+        self.overlap = None
         #: watchdog limits (None = unbounded); see configure_watchdog.
         self.max_events: Optional[int] = None
         self.max_sim_ns: Optional[float] = None

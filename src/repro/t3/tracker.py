@@ -137,6 +137,7 @@ class Tracker:
             scope = self.env.obs.scope(self.gpu_id, "tracker")
             scope.count("regions_programmed")
             scope.gauge("live_regions").set(self.env.now, self.live_regions)
+        self._feed_pressure()
 
     def _force_evict(self) -> None:
         """Entry-table pressure fault: drop the oldest live region.
@@ -257,10 +258,20 @@ class Tracker:
                     and self._crediting_issued_at is not None:
                 self.env.resilience.observe_trigger_latency(
                     self.gpu_id, self.env.now - self._crediting_issued_at)
+            self._feed_pressure()
             for fn in self._on_complete:
                 fn(key)
 
     # -- helpers ---------------------------------------------------------------------
+
+    def _feed_pressure(self) -> None:
+        """Live-region occupancy as an overlap-policy pressure signal
+        (purely observational: the policy may not schedule anything)."""
+        env = self.env
+        if env is not None and env.overlap is not None:
+            env.overlap.observe_tracker_pressure(
+                self.gpu_id, self._live,
+                self.config.n_entries * self.config.ways)
 
     def _key(self, wg_id: int, wf_id: int) -> RegionKey:
         return (wg_id, wf_id if self.granularity == "wf" else -1)

@@ -101,20 +101,37 @@ class TriggerController:
         block.completed.add(region)
         if block.remaining == 0 and not block.fired:
             block.fired = True
-            if self.env.invariants is not None:
-                self.env.invariants.on_trigger_fired(
-                    f"trigger block {block_id}")
-            if self.env.obs is not None:
-                scope = self.env.obs.scope(self.dma.gpu.gpu_id, "trigger")
-                scope.count("terminal_fires" if block.is_terminal
-                            else "dma_fires")
-                first = self._first_complete.get(block_id, self.env.now)
-                # Gather window: first region done -> block fully updated.
-                scope.observe("block_gather_ns", self.env.now - first)
-            if block.is_terminal:
-                self._terminal_events[block_id].succeed(self.env.now)
+            # Trigger eagerness is an overlap-policy decision: the paper
+            # fires eagerly (delay 0, the inline path below); a policy
+            # may hold the fire briefly to batch DMA traffic.
+            overlap = self.env.overlap
+            delay = 0.0
+            if overlap is not None:
+                delay = overlap.trigger_fire_delay(self.dma.gpu.gpu_id,
+                                                   block)
+            if delay > 0.0:
+                self.env.call_later(
+                    delay, lambda _ev, b=block: self._fire(b))
             else:
-                self.dma.trigger(block.dma_command_id)
+                self._fire(block)
+
+    def _fire(self, block: DMABlock) -> None:
+        """Deliver a completed block's trigger (DMA or terminal event)."""
+        block_id = block.block_id
+        if self.env.invariants is not None:
+            self.env.invariants.on_trigger_fired(
+                f"trigger block {block_id}")
+        if self.env.obs is not None:
+            scope = self.env.obs.scope(self.dma.gpu.gpu_id, "trigger")
+            scope.count("terminal_fires" if block.is_terminal
+                        else "dma_fires")
+            first = self._first_complete.get(block_id, self.env.now)
+            # Gather window: first region done -> block fully updated.
+            scope.observe("block_gather_ns", self.env.now - first)
+        if block.is_terminal:
+            self._terminal_events[block_id].succeed(self.env.now)
+        else:
+            self.dma.trigger(block.dma_command_id)
 
     # -- introspection ------------------------------------------------------------------
 

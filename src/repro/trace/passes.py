@@ -22,6 +22,9 @@ pass                      what it answers
                           the machine was doing at that instant
 ``critical-path``         the backward GEMM->DMA->link->DRAM walk that
                           explains the finish time
+``policy-decisions``      overlap-policy decision instants (threshold
+                          retunes, pacing, eagerness) joined against
+                          the arbiter's gate outcomes
 ========================  =============================================
 
 Passes degrade gracefully: one that needs data the trace lacks (e.g.
@@ -327,6 +330,96 @@ def pass_critical_path(query: TraceQuery) -> PassResult:
     return PassResult("critical-path", data, "\n".join(lines))
 
 
+def pass_policy_decisions(query: TraceQuery) -> PassResult:
+    """Overlap-policy decisions joined against arbiter gate outcomes.
+
+    The policy layer emits one instant per tunable decision (category
+    ``policy``: threshold retunes, pacing gaps, eagerness delays); the
+    arbiter's registry counters record what each threshold actually did
+    to the communication stream (``comm_grants.tN`` /
+    ``comm_deferrals.tN``).  This pass reconstructs the per-GPU
+    threshold trajectory and reports, per threshold the run visited,
+    how the occupancy gate behaved while it was in force.
+    """
+    marks = [span for span in query.select(category="policy")]
+    if not marks:
+        return PassResult(
+            "policy-decisions", {"decisions": 0, "by_kind": {},
+                                 "by_reason": {}, "per_gpu": {},
+                                 "gate_by_threshold": {}},
+            "policy decisions: no policy instants in this trace (run "
+            "predates the policy layer, or was traced without an "
+            "overlap policy attached)")
+    marks.sort(key=lambda span: span.start_ns)
+    policy_names = sorted({span.args.get("policy", "?") for span in marks})
+    by_kind: Dict[str, int] = {}
+    by_reason: Dict[str, int] = {}
+    per_gpu: Dict[str, Dict[str, Any]] = {}
+    for mark in marks:
+        args = mark.args
+        kind = args.get("kind", "?")
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        reason = args.get("reason", "?")
+        by_reason[reason] = by_reason.get(reason, 0) + 1
+        if kind != "threshold":
+            continue
+        gpu = f"gpu{args.get('gpu')}"
+        entry = per_gpu.setdefault(gpu, {
+            "decisions": 0, "first_threshold": args.get("value"),
+            "last_threshold": None, "thresholds_visited": [],
+        })
+        entry["decisions"] += 1
+        entry["last_threshold"] = args.get("value")
+        if args.get("value") not in entry["thresholds_visited"]:
+            entry["thresholds_visited"].append(args.get("value"))
+    # Join: what did the occupancy gate do under each threshold?
+    snapshot = query.registry_snapshot or {}
+    gate: Dict[str, Dict[str, float]] = {}
+    for scope in snapshot.get("scopes", []):
+        if scope.get("component") != "arbiter":
+            continue
+        for name, value in scope.get("counters", {}).items():
+            for prefix, field_name in (("comm_grants.t", "grants"),
+                                       ("comm_deferrals.t", "deferrals")):
+                if name.startswith(prefix):
+                    tag = name[len(prefix):]
+                    row = gate.setdefault(tag, {"grants": 0.0,
+                                                "deferrals": 0.0})
+                    row[field_name] += value
+    lines = [f"policy decisions ({'/'.join(policy_names)}): "
+             f"{len(marks)} instants",
+             "  by kind: " + "  ".join(f"{kind}={count}" for kind, count
+                                       in sorted(by_kind.items())),
+             "  by reason: " + "  ".join(
+                 f"{reason}={count}" for reason, count
+                 in sorted(by_reason.items()))]
+    for gpu, entry in sorted(per_gpu.items()):
+        path = " -> ".join(str(v) for v in entry["thresholds_visited"])
+        lines.append(f"  {gpu}: {entry['decisions']} threshold "
+                     f"decision(s), ladder {path}, "
+                     f"final {entry['last_threshold']}")
+    if gate:
+        lines.append("  occupancy-gate outcome while each threshold was "
+                     "in force:")
+        for tag, row in sorted(
+                gate.items(),
+                key=lambda item: (item[0] == "inf",
+                                  0.0 if item[0] == "inf"
+                                  else float(item[0]))):
+            rounds = row["grants"] + row["deferrals"]
+            held = (f"  ({100 * row['deferrals'] / rounds:.1f}% held)"
+                    if rounds else "")
+            lines.append(f"    t={tag:<4} grants {row['grants']:.0f}  "
+                         f"deferrals {row['deferrals']:.0f}{held}")
+    else:
+        lines.append("  (no arbiter counters in this trace — saved "
+                     "without a registry snapshot; gate join skipped)")
+    data = {"decisions": len(marks), "policies": policy_names,
+            "by_kind": by_kind, "by_reason": by_reason,
+            "per_gpu": per_gpu, "gate_by_threshold": gate}
+    return PassResult("policy-decisions", data, "\n".join(lines))
+
+
 #: the pass registry, in report order.
 PASSES: Dict[str, Callable[[TraceQuery], PassResult]] = {
     "summary": pass_summary,
@@ -337,6 +430,7 @@ PASSES: Dict[str, Callable[[TraceQuery], PassResult]] = {
     "deferrals": pass_deferrals,
     "incidents": pass_incidents,
     "critical-path": pass_critical_path,
+    "policy-decisions": pass_policy_decisions,
 }
 
 

@@ -44,6 +44,30 @@ def chaos(**overrides):
     return entry
 
 
+def policy_suite(**overrides):
+    entry = {
+        "static_exposed_ns": 517600.0,
+        "adaptive_exposed_ns": 512600.0,
+        "adaptive_wins": True,
+    }
+    entry.update(overrides)
+    return entry
+
+
+def policy(**overrides):
+    entry = {
+        "suites": {
+            "degraded-link": policy_suite(),
+            "straggler": policy_suite(static_exposed_ns=220600.0,
+                                      adaptive_exposed_ns=216200.0),
+        },
+        "adaptive_wins": True,
+        "geomean_exposed_reduction": 0.0147,
+    }
+    entry.update(overrides)
+    return entry
+
+
 def payload(**overrides):
     base = {
         "schema": BENCH_SCHEMA,
@@ -54,6 +78,7 @@ def payload(**overrides):
         "wall_clock_s": 10.0,
         "cases_per_second": 0.4,
         "chaos": chaos(),
+        "policy": policy(),
         "experiments": [experiment()],
     }
     base.update(overrides)
@@ -72,6 +97,7 @@ def test_build_payload_round_trips():
         wall_clock_s=1.0,
         cases_per_second=1.0,
         chaos=chaos(),
+        policy=policy(),
         experiments=[experiment()],
     )
     assert built["schema"] == BENCH_SCHEMA
@@ -82,7 +108,8 @@ def test_build_payload_raises_on_invalid():
     with pytest.raises(ValueError, match="mode"):
         build_payload(mode="warp", captured_at="t", host={},
                       wall_clock_s=1.0, cases_per_second=1.0,
-                      chaos=chaos(), experiments=[experiment()])
+                      chaos=chaos(), policy=policy(),
+                      experiments=[experiment()])
 
 
 def test_non_dict_payload_rejected():
@@ -194,10 +221,60 @@ def test_chaos_violation_counts_non_negative_ints():
                                         watchdog_hangs=1))) == []
 
 
+def test_policy_block_required():
+    missing = payload()
+    del missing["policy"]
+    assert any("policy" in e for e in validate(missing))
+    assert validate(payload(policy="adaptive")) != []
+
+
+def test_policy_missing_keys_reported():
+    bad = policy()
+    del bad["suites"], bad["geomean_exposed_reduction"]
+    errors = validate(payload(policy=bad))
+    assert any("suites" in error for error in errors)
+    assert any("geomean_exposed_reduction" in error for error in errors)
+
+
+def test_policy_suites_must_be_non_empty_objects():
+    assert validate(payload(policy=policy(suites={}))) != []
+    assert validate(payload(policy=policy(
+        suites={"straggler": "fine"}))) != []
+    incomplete = policy_suite()
+    del incomplete["adaptive_exposed_ns"]
+    errors = validate(payload(policy=policy(
+        suites={"straggler": incomplete})))
+    assert any("adaptive_exposed_ns" in error for error in errors)
+
+
+def test_policy_suite_field_validation():
+    assert validate(payload(policy=policy(suites={
+        "straggler": policy_suite(static_exposed_ns=-1.0)}))) != []
+    assert validate(payload(policy=policy(suites={
+        "straggler": policy_suite(adaptive_wins="yes")}))) != []
+    # Zero exposure is legal (a fully-hidden suite).
+    assert validate(payload(policy=policy(suites={
+        "straggler": policy_suite(static_exposed_ns=0,
+                                  adaptive_exposed_ns=0,
+                                  adaptive_wins=False)}))) == []
+
+
+def test_policy_verdict_and_reduction_validation():
+    assert validate(payload(policy=policy(adaptive_wins="true"))) != []
+    # A regression (negative reduction) is representable — the gate on
+    # winning is CI's assertion, not the schema's.
+    assert validate(payload(policy=policy(adaptive_wins=False,
+                            geomean_exposed_reduction=-0.05))) == []
+    assert validate(payload(policy=policy(
+        geomean_exposed_reduction=1.0))) != []
+    assert validate(payload(policy=policy(
+        geomean_exposed_reduction=True))) != []
+
+
 def test_smoke_capture_populates_cases_per_second(tmp_path):
     """End-to-end: a smoke bench capture records a positive throughput
-    (the cases/second figure of merit) plus the chaos survival metrics,
-    and validates under schema v3."""
+    (the cases/second figure of merit) plus the chaos survival and
+    overlap-policy metrics, and validates under schema v4."""
     out = tmp_path / "bench.json"
     subprocess.run(
         [sys.executable, str(REPO_ROOT / "scripts" / "bench.py"),
@@ -213,6 +290,8 @@ def test_smoke_capture_populates_cases_per_second(tmp_path):
     assert data["chaos"]["survival_rate"] >= 0.95
     assert data["chaos"]["invariant_violations"] == 0
     assert data["chaos"]["watchdog_hangs"] == 0
+    assert data["policy"]["adaptive_wins"] is True
+    assert set(data["policy"]["suites"]) >= {"degraded-link", "straggler"}
 
 
 def test_checked_in_trajectory_point_is_valid():
@@ -229,3 +308,7 @@ def test_checked_in_trajectory_point_is_valid():
     assert data["chaos"]["survival_rate"] >= 0.95
     assert data["chaos"]["invariant_violations"] == 0
     assert data["chaos"]["watchdog_hangs"] == 0
+    assert data["policy"]["adaptive_wins"] is True
+    assert data["policy"]["geomean_exposed_reduction"] > 0
+    for suite in ("degraded-link", "straggler"):
+        assert data["policy"]["suites"][suite]["adaptive_wins"] is True

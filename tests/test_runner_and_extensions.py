@@ -21,7 +21,7 @@ def test_every_registered_experiment_is_callable():
                 "figure17", "figure18", "figure19", "figure20",
                 "generation", "precision", "following-ops",
                 "consumer-fusion", "in-switch", "dp-overlap",
-                "fault-sweep", "scaleout", "chaos"}
+                "fault-sweep", "scaleout", "chaos", "adaptive"}
     assert expected == set(EXPERIMENTS)
 
 

@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint check smoke-cache smoke-faults smoke-obs smoke-engine \
-	smoke-chaos smoke-trace smoke-policy bench profile results clean-cache
+	smoke-chaos smoke-trace smoke-policy smoke-surrogate bench profile \
+	results clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,7 +19,7 @@ lint:
 
 # Everything CI runs: the tier-1 suite plus lint and the smoke tests.
 check: test lint smoke-cache smoke-faults smoke-obs smoke-engine \
-	smoke-chaos smoke-trace smoke-policy
+	smoke-chaos smoke-trace smoke-policy smoke-surrogate
 
 # Cache smoke test: figure16 twice; the second run must hit the persistent
 # sweep cache (zero simulations), be much faster, and render identically.
@@ -59,6 +60,13 @@ smoke-trace:
 # communication on the faulty suites.
 smoke-policy:
 	$(PYTHON) scripts/smoke_policy.py
+
+# Surrogate smoke test: triage simulates only a bounded subset, the
+# predicted frontier contains a near-best design (full grid simulated as
+# ground truth) with every pick above the grid median, and the audit
+# slice's relative error stays under the bench-gated bound.
+smoke-surrogate:
+	$(PYTHON) scripts/smoke_surrogate.py
 
 # Capture a bench trajectory point (results/BENCH_0003.json) and
 # validate it against the schema.

@@ -6,10 +6,13 @@ records, per case: host wall-clock, speedups over Sequential, and the
 overlap efficiency (fraction of communication hidden under compute) of
 every simulated configuration — plus an aggregate ``cases_per_second``
 throughput metric (schema v2), the resilience campaign's survival
-rate / MTTR (schema v3), and the overlap-policy study's
-static-vs-adaptive exposed-communication comparison (schema v4), so
-robustness and policy regressions surface in the bench trajectory just
-like performance ones.  The payload follows the schema in
+rate / MTTR (schema v3), the overlap-policy study's static-vs-adaptive
+exposed-communication comparison (schema v4), and — schema v5 — the
+bare-vs-profiled throughput split plus the calibrated surrogate's
+triage accuracy (training fit and audit-slice error), so robustness,
+policy, throughput and surrogate regressions all surface in the bench
+trajectory just like simulated-speedup ones.  The payload follows the
+schema in
 :mod:`repro.obs.bench` and lands in ``results/BENCH_0003.json`` by
 default — the checked-in trajectory point CI validates on every push.
 
@@ -58,8 +61,37 @@ def fast_cases():
     return filter_cases(sublayer_sweep.default_cases(), "fc2")
 
 
+def surrogate_grid(mode: str):
+    """The synthetic grid the bench's triaged sweep scores.
+
+    Axes are kept small enough that the train + frontier + audit
+    simulations stay cheap; the checked-in demo scale lives in
+    ``runner surrogate`` (10k cases), not here.
+    """
+    from repro.surrogate.grid import synthetic_cases
+
+    if mode == "smoke":
+        return synthetic_cases(n=60, seed=0, hidden=(1024, 2048),
+                               seq_len=(512,), batch=(1, 2, 4), tp=(4, 8))
+    return synthetic_cases(n=400, seed=0, hidden=(1024, 2048, 4096),
+                           seq_len=(512, 1024), batch=(1, 4, 16),
+                           tp=(4, 8))
+
+
 def capture(mode: str) -> dict:
     cases = smoke_cases() if mode == "smoke" else fast_cases()
+    # Bare engine throughput first: the same cases, no telemetry, no
+    # profiling — what the event core alone sustains.
+    pure_started = time.time()
+    for sub in cases:
+        sublayer_sweep.simulate_case(
+            sub, sublayer_sweep.FAST_SCALE, table1_system(n_gpus=sub.tp),
+            list(PROFILED_CONFIGS))
+    pure_elapsed = time.time() - pure_started
+    pure_cases_per_second = len(cases) / pure_elapsed \
+        if pure_elapsed > 0 else 0.0
+    print(f"  pure-sim throughput: {pure_cases_per_second:.3f} cases/s "
+          f"({len(cases)} case(s) in {pure_elapsed:.2f}s)")
     started = time.time()
     experiments = []
     for sub in cases:
@@ -112,6 +144,26 @@ def capture(mode: str) -> dict:
           f", geomean exposed-comm reduction "
           f"{policy_block['geomean_exposed_reduction']:.2%} "
           f"({time.time() - policy_started:.2f}s)")
+    # Surrogate accuracy: a small triaged sweep; its audit-slice error is
+    # the bench's measurement of the analytic shortcut.
+    surrogate_started = time.time()
+    triage = sublayer_sweep.run_sweep(
+        cases=surrogate_grid(mode), triage="surrogate",
+        triage_options=dict(frontier=4, min_audit=4, audit_fraction=0.0,
+                            seed=0))
+    surrogate_block = {
+        "n_scored": triage.n_scored,
+        "n_simulated": triage.n_simulated,
+        "simulated_fraction": round(triage.simulated_fraction, 6),
+        "train_mae_rel": round(triage.train_stats["mae_rel"], 6),
+        "audit_mae_rel": round(triage.audit_stats["mae_rel"], 6),
+        "audit_geomean_rel": round(triage.audit_stats["geomean_rel"], 6),
+        "audit_n": int(triage.audit_stats["n"]),
+    }
+    print(f"  surrogate: {triage.n_scored} scored / "
+          f"{triage.n_simulated} simulated, audit geomean rel err "
+          f"{surrogate_block['audit_geomean_rel']:.2%} "
+          f"({time.time() - surrogate_started:.2f}s)")
     return bench.build_payload(
         mode=mode,
         captured_at=datetime.datetime.now(datetime.timezone.utc)
@@ -123,8 +175,13 @@ def capture(mode: str) -> dict:
         },
         wall_clock_s=round(elapsed, 3),
         cases_per_second=round(cases_per_second, 4),
+        throughput={
+            "pure_sim_cases_per_second": round(pure_cases_per_second, 4),
+            "profiled_cases_per_second": round(cases_per_second, 4),
+        },
         chaos=chaos_summary,
         policy=policy_block,
+        surrogate=surrogate_block,
         experiments=experiments,
     )
 
@@ -144,12 +201,16 @@ def check(path: pathlib.Path) -> int:
     n = len(payload["experiments"])
     chaos_block = payload["chaos"]
     policy_block = payload["policy"]
+    surrogate_block = payload["surrogate"]
     print(f"OK {path}: schema v{payload['schema_version']}, "
           f"mode={payload['mode']}, {n} experiment(s), "
-          f"{payload['cases_per_second']} cases/s, chaos survival "
-          f"{chaos_block['survival_rate']:.0%} over "
+          f"{payload['cases_per_second']} cases/s profiled "
+          f"({payload['throughput']['pure_sim_cases_per_second']} bare), "
+          f"chaos survival {chaos_block['survival_rate']:.0%} over "
           f"{chaos_block['scenarios']} scenarios, adaptive policy "
-          f"{'wins' if policy_block['adaptive_wins'] else 'does not win'}")
+          f"{'wins' if policy_block['adaptive_wins'] else 'does not win'}, "
+          f"surrogate audit geomean rel err "
+          f"{surrogate_block['audit_geomean_rel']:.2%}")
     return 0
 
 

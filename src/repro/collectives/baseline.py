@@ -27,6 +27,7 @@ from repro.collectives.schedule import (
 from repro.interconnect.topology import RingTopology, Topology
 from repro.memory.request import AccessKind, Stream
 from repro.sim.engine import BaseEvent, Process
+from repro.sim.machines import CallbackMachine, CompletionGroup
 from repro.sim.primitives import Resource
 
 
@@ -41,6 +42,117 @@ class CollectiveResult:
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+
+class _QuantumMachine(CallbackMachine):
+    """Callback state machine for one pipelined quantum: operand reads →
+    CU reduction → link serialization → remote writes.
+
+    The event-driven replacement for the former ``_quantum_proc``
+    generator process — by far the most-instantiated process in the
+    simulator.  The machine subclasses :class:`BaseEvent` and re-arms
+    *itself* for every stage boundary (boot, reads-complete,
+    writes-complete, completion) and for the CU hold interval, so one
+    recycled object replaces the process + boot event + two ``AllOf``
+    composites + per-child closures the generator version allocated per
+    quantum.  Every boundary is scheduled at exactly the slot the
+    generator version's event occupied (see ``repro.sim.machines``), so
+    firing order — and therefore every DRAM arbitration decision — is
+    bit-identical to the process version (``scripts/smoke_engine.py``
+    enforces this).
+
+    Callers guarantee ``read_bytes`` and ``cu_bytes`` are positive (every
+    ring step reads at least the local copy and reduces it).
+    """
+
+    __slots__ = ("coll", "rank", "dst_rank", "nbytes", "read_bytes",
+                 "cu_bytes", "reduce_unit", "cu_bw", "chunk_id", "group",
+                 "_stage", "_pending", "_hold")
+
+    def __init__(self, coll: "_RingCollectiveBase", rank: int, dst_rank: int,
+                 nbytes: int, read_bytes: int, cu_bytes: int,
+                 reduce_unit: Resource, cu_bw: float,
+                 chunk_id: Optional[int], group: CompletionGroup):
+        super().__init__(coll.env)
+        self.coll = coll
+        self.rank = rank
+        self.dst_rank = dst_rank
+        self.nbytes = nbytes
+        self.read_bytes = read_bytes
+        self.cu_bytes = cu_bytes
+        self.reduce_unit = reduce_unit
+        self.cu_bw = cu_bw
+        self.chunk_id = chunk_id
+        self.group = group
+        self._stage = 0
+        self._pending = 0
+        self._hold = 0.0
+
+    def _advance(self, _event: BaseEvent) -> None:
+        stage = self._stage
+        if stage == 0:
+            # Booted: issue the operand reads.
+            self._stage = 1
+            coll = self.coll
+            reads = coll.topo.gpus[self.rank].mc.submit_bulk(
+                AccessKind.READ, Stream.COMPUTE, self.read_bytes, coll.label)
+            self._pending = len(reads)
+            cb = self._read_done
+            for ev in reads:
+                ev.add_callback(cb)
+        elif stage == 1:
+            # Reads landed: queue for the CU reduce unit.
+            self._stage = 2
+            env = self.env
+            hold = self.cu_bytes / self.cu_bw
+            if env.faults is not None and env.faults.has_compute_faults:
+                # Straggler seam: the CU reduction of a slowed GPU paces
+                # its ring step exactly like a slowed GEMM wave.
+                hold *= env.faults.compute_factor(
+                    self.coll.topo.gpus[self.rank].gpu_id, env._now)
+            self._hold = hold
+            self.reduce_unit.request().add_callback(self._granted)
+        elif stage == 2:
+            # CU hold elapsed: release the unit, go on the wire.
+            coll = self.coll
+            self.reduce_unit.release()
+            dst_gpu_id = coll.topo.gpus[self.dst_rank].gpu_id
+            coll.topo.gpus[self.rank].link_to(dst_gpu_id) \
+                .transfer(self.nbytes).add_callback(self._arrived)
+        elif stage == 3:
+            # Writes landed (the slot the writes-AllOf used to fire in).
+            self._stage = 4
+            self._arm()
+        else:
+            # Completion slot (the former process-completion event).
+            self.group.done_one()
+
+    def _read_done(self, _event: BaseEvent) -> None:
+        self._pending -= 1
+        if not self._pending:
+            self._arm()
+
+    def _granted(self, _event: BaseEvent) -> None:
+        self._arm(self._hold)
+
+    def _arrived(self, _event: BaseEvent) -> None:
+        # Arriving writes are tagged with the chunk they deliver, so a T3
+        # Tracker at the receiver can gate consumers on chunk arrival
+        # (Section 7.2).
+        coll = self.coll
+        writes = coll.topo.gpus[self.dst_rank].mc.submit_bulk(
+            AccessKind.WRITE, Stream.COMM, self.nbytes, coll.label,
+            wg_id=self.chunk_id, chunk_id=self.chunk_id)
+        self._pending = len(writes)
+        cb = self._write_done
+        for ev in writes:
+            ev.add_callback(cb)
+
+    def _write_done(self, _event: BaseEvent) -> None:
+        self._pending -= 1
+        if not self._pending:
+            self._stage = 3
+            self._arm()
 
 
 class _RingCollectiveBase:
@@ -76,34 +188,6 @@ class _RingCollectiveBase:
             sizes.append(rem)
         return sizes
 
-    def _quantum_proc(self, rank: int, dst_rank: int, nbytes: int,
-                      read_bytes: int, cu_bytes: int,
-                      reduce_unit: Resource, cu_bw: float,
-                      chunk_id: Optional[int] = None):
-        gpu = self.topo.gpus[rank]
-        if read_bytes:
-            reads = gpu.mc.submit_bulk(
-                AccessKind.READ, Stream.COMPUTE, read_bytes, self.label)
-            if reads:
-                yield self.env.all_of(reads)
-        if cu_bytes:
-            hold = cu_bytes / cu_bw
-            if self.env.faults is not None:
-                # Straggler seam: the CU reduction of a slowed GPU paces
-                # its ring step exactly like a slowed GEMM wave.
-                hold *= self.env.faults.compute_factor(gpu.gpu_id,
-                                                      self.env.now)
-            yield from reduce_unit.acquire(hold=hold)
-        yield gpu.link_to(self.topo.gpus[dst_rank].gpu_id).transfer(nbytes)
-        # Arriving writes are tagged with the chunk they deliver, so a T3
-        # Tracker at the receiver can gate consumers on chunk arrival
-        # (Section 7.2).
-        writes = self.topo.gpus[dst_rank].mc.submit_bulk(
-            AccessKind.WRITE, Stream.COMM, nbytes, self.label,
-            wg_id=chunk_id, chunk_id=chunk_id)
-        if writes:
-            yield self.env.all_of(writes)
-
     def _send_chunk(self, rank: int, step: int, chunk_bytes: int,
                     read_factor: int, cu_factor: int,
                     reduce_unit: Resource, cu_bw: float,
@@ -111,15 +195,13 @@ class _RingCollectiveBase:
         """Pipeline one chunk to the downstream neighbour; returns when it
         has fully landed there, then fires the receiver's incoming event."""
         dst_rank = self.topo.next_gpu(rank)
-        procs: List[Process] = []
-        for q in self._quanta(chunk_bytes):
-            procs.append(self.env.process(
-                self._quantum_proc(
-                    rank, dst_rank, q, read_factor * q, cu_factor * q,
-                    reduce_unit, cu_bw, chunk_id=chunk_id),
-                name=f"{self.label}.r{rank}.s{step}.q",
-            ))
-        yield self.env.all_of(procs)
+        quanta = self._quanta(chunk_bytes)
+        group = CompletionGroup(self.env, len(quanta))
+        for q in quanta:
+            _QuantumMachine(
+                self, rank, dst_rank, q, read_factor * q, cu_factor * q,
+                reduce_unit, cu_bw, chunk_id, group).start()
+        yield group
         self._incoming[dst_rank][step].succeed()
 
     # -- orchestration -----------------------------------------------------------
@@ -260,17 +342,15 @@ class PlannedReduceScatter(_RingCollectiveBase):
     def _send_group(self, rank: int, dst_rank: int, stage: str, step: int,
                     chunk_ids: Tuple[int, ...], read_factor: int,
                     reduce_unit: Resource, cu_bw: float):
-        procs: List[Process] = []
+        group = CompletionGroup(self.env)
         for cid in chunk_ids:
             for q in self._quanta(self.chunks[cid]):
-                procs.append(self.env.process(
-                    self._quantum_proc(
-                        rank, dst_rank, q, read_factor * q,
-                        (read_factor + 1) * q, reduce_unit, cu_bw,
-                        chunk_id=cid),
-                    name=f"{self.label}.r{rank}.{stage}{step}.q",
-                ))
-        yield self.env.all_of(procs)
+                group.expect()
+                _QuantumMachine(
+                    self, rank, dst_rank, q, read_factor * q,
+                    (read_factor + 1) * q, reduce_unit, cu_bw, cid,
+                    group).start()
+        yield group
         for cid in chunk_ids:
             self._arrivals[(dst_rank, stage, step, cid)].succeed()
 

@@ -10,6 +10,7 @@ Usage::
     python -m repro.experiments.runner figure16 --profile overlap.json
     python -m repro.experiments.runner scaleout --trace run.trace.json
     python -m repro.experiments.runner trace run.trace.json --timeline
+    python -m repro.experiments.runner surrogate --cases 10000 --jobs 8
 
 Sub-layer sweep cases are cached persistently (content-addressed, under
 ``~/.cache/repro-t3`` unless ``--cache-dir`` / ``$REPRO_T3_CACHE_DIR``
@@ -95,6 +96,44 @@ def configure_sweep(args: argparse.Namespace) -> None:
 PROFILE_TARGETS = ("figure16", "figure16-large")
 
 
+def run_surrogate_command(args: argparse.Namespace) -> int:
+    """The ``surrogate`` subcommand: a triaged design-space sweep.
+
+    Scores a synthetic hyperparameter grid (default: 10k cases) with the
+    calibrated analytic surrogate and full-simulates only the predicted
+    speedup frontier plus a random audit slice; prints the frontier and
+    the audit-error report.  See docs/performance.md.
+    """
+    from repro.surrogate.grid import synthetic_cases
+
+    cases = synthetic_cases(n=args.cases, seed=args.seed)
+    if not cases:
+        print("surrogate: the synthetic grid produced no valid cases",
+              file=sys.stderr)
+        return 2
+    started = time.time()
+    before = sublayer_sweep.cache_stats().snapshot()
+    result = sublayer_sweep.run_sweep(
+        fast=not args.full, cases=cases, triage="surrogate",
+        triage_options=dict(frontier=args.frontier,
+                            audit_fraction=args.audit_fraction,
+                            seed=args.seed))
+    sweep = sublayer_sweep.cache_stats().delta(before)
+    print(result.render())
+    if args.surrogate_out:
+        import json
+        import pathlib
+        path = pathlib.Path(args.surrogate_out)
+        path.write_text(json.dumps(result.to_dict(), indent=2,
+                                   sort_keys=True))
+        print(f"[triage report written to {path}]")
+    line = f"[surrogate finished in {time.time() - started:.1f}s"
+    if sweep.hits or sweep.misses:
+        line += f"; sweep cache: {sweep.render()}"
+    print(line + "]")
+    return 0
+
+
 def run_profile_command(args: argparse.Namespace) -> int:
     """The ``profile`` subcommand: overlap decomposition of sweep cases."""
     target = args.target or "figure16"
@@ -137,9 +176,13 @@ def main(argv=None) -> int:
                "saved execution trace (analysis passes, JSON reports, "
                "terminal timeline); see 'trace --help'.")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["all", "profile"],
-                        help="which table/figure to regenerate, or "
-                             "'profile' for the overlap profiler")
+                        choices=sorted(EXPERIMENTS) + ["all", "profile",
+                                                       "surrogate"],
+                        help="which table/figure to regenerate, "
+                             "'profile' for the overlap profiler, or "
+                             "'surrogate' for a triaged design-space "
+                             "sweep (score 10k cases analytically, "
+                             "simulate only the frontier + audit slice)")
     parser.add_argument("target", nargs="?", default=None,
                         help="profile only: which sweep to profile "
                              f"({' / '.join(PROFILE_TARGETS)}; "
@@ -167,6 +210,26 @@ def main(argv=None) -> int:
                                  if "trace_out" in inspect.signature(
                                      EXPERIMENTS[name]).parameters))
                              + "); explore it with the 'trace' subcommand")
+    parser.add_argument("--cases", type=_positive_int, default=10_000,
+                        metavar="N",
+                        help="surrogate only: synthetic grid size to "
+                             "score (default: 10000)")
+    parser.add_argument("--frontier", type=_positive_int, default=32,
+                        metavar="K",
+                        help="surrogate only: predicted-speedup frontier "
+                             "cases to full-simulate (default: 32)")
+    parser.add_argument("--audit-fraction", type=float, default=0.005,
+                        metavar="F",
+                        help="surrogate only: random audit slice as a "
+                             "fraction of the scored grid (default: "
+                             "0.005; at least 8 cases)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="surrogate only: grid shuffle + audit "
+                             "sampling seed (default: 0)")
+    parser.add_argument("--surrogate-out", default=None, metavar="FILE",
+                        help="surrogate only: write the full triage "
+                             "report (scores, factors, audit) to FILE "
+                             "as JSON")
     parser.add_argument("--policy", default=None,
                         choices=("static", "adaptive"),
                         help="overlap policy every simulated run defaults "
@@ -190,6 +253,8 @@ def main(argv=None) -> int:
 
     if args.experiment == "profile":
         return run_profile_command(args)
+    if args.experiment == "surrogate":
+        return run_surrogate_command(args)
     if args.target is not None:
         print(f"positional target {args.target!r} is only valid with the "
               "'profile' subcommand", file=sys.stderr)

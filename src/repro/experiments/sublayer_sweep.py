@@ -134,6 +134,19 @@ def _resolve_spec(sub: SubLayer, fast: bool,
                     faults=faults, check_invariants=check_invariants)
 
 
+def case_shape(sub: SubLayer, scale: int, system: SystemConfig):
+    """The exact GEMM shape ``simulate_case`` will run for this case.
+
+    Shared with :mod:`repro.surrogate` so analytic scoring and the event
+    simulation can never disagree about the simulated geometry.
+    """
+    # Keep the scaled output chunkable: need >= tp workgroup tiles.
+    tiles_n = max(1, sub.gemm.n // system.gemm.macro_tile_n)
+    rows_needed = -(-sub.tp // tiles_n)  # ceil
+    min_m = rows_needed * system.gemm.macro_tile_m
+    return scaled_shape(sub.gemm, scale, min_m=min_m)
+
+
 def simulate_case(sub: SubLayer, scale: int, system: SystemConfig,
                   configs: Optional[List[str]] = None,
                   faults: Optional[FaultPlan] = None,
@@ -149,11 +162,7 @@ def simulate_case(sub: SubLayer, scale: int, system: SystemConfig,
     chaos runs bypass the cache).  ``trace_sink`` mirrors ``obs_sink``
     with per-config :class:`~repro.analysis.trace.TraceRecorder`\\ s —
     equally uncacheable, equally passive."""
-    # Keep the scaled output chunkable: need >= tp workgroup tiles.
-    tiles_n = max(1, sub.gemm.n // system.gemm.macro_tile_n)
-    rows_needed = -(-sub.tp // tiles_n)  # ceil
-    min_m = rows_needed * system.gemm.macro_tile_m
-    shape = scaled_shape(sub.gemm, scale, min_m=min_m)
+    shape = case_shape(sub, scale, system)
     return run_sublayer_suite(system, shape, label=sub.label,
                               configs=configs, faults=faults,
                               check_invariants=check_invariants,
@@ -190,7 +199,9 @@ def run_sweep(fast: bool = True, large: bool = False,
               jobs: Optional[int] = None,
               progress=None,
               faults: Optional[FaultPlan] = None,
-              check_invariants: bool = False) -> List[SublayerSuite]:
+              check_invariants: bool = False,
+              triage: Optional[str] = None,
+              triage_options: Optional[dict] = None):
     """Run all cases; returns one suite per case, in case order.
 
     ``jobs`` (default: the :func:`configure` setting) bounds the number of
@@ -199,8 +210,30 @@ def run_sweep(fast: bool = True, large: bool = False,
     :class:`SystemConfig`; ``configs`` restricts the per-case suite.
     ``faults`` / ``check_invariants`` are part of each case's cache key,
     so faulty runs never collide with healthy ones.
+
+    ``triage="surrogate"`` switches to the calibrated-surrogate flow
+    (:func:`repro.surrogate.triage.triaged_sweep`): every case is scored
+    analytically and only the predicted frontier plus an audit slice is
+    simulated.  The return type is then a
+    :class:`~repro.surrogate.triage.TriageResult`, not a suite list.
+    ``triage_options`` passes keyword arguments (``frontier``,
+    ``audit_fraction``, ``seed``, ...) through to the triage.
     """
     selected = list(cases) if cases is not None else default_cases(large)
+    if triage is not None:
+        if triage != "surrogate":
+            raise ValueError(
+                f"unknown triage mode {triage!r}; only 'surrogate' exists")
+        if faults is not None or check_invariants:
+            raise ValueError(
+                "surrogate triage calibrates against healthy runs; "
+                "faults / invariant checking are full-sweep features")
+        from repro.surrogate.triage import triaged_sweep
+        return triaged_sweep(
+            selected, fast=fast, configs=configs,
+            system_for_tp=system_for_tp,
+            jobs=jobs if jobs is not None else _OPTIONS.jobs,
+            progress=progress, **(triage_options or {}))
     specs: List[CaseSpec] = []
     for sub in selected:
         system = system_for_tp(sub.tp) if system_for_tp else None

@@ -43,6 +43,15 @@ class FaultInjector:
         if not isinstance(plan, FaultPlan):
             raise TypeError(f"expected a FaultPlan, got {type(plan).__name__}")
         self.plan = plan
+        #: plan-shape booleans, resolved once per simulation: the hot
+        #: seams (per-wave compute factors, per-transfer stall queries,
+        #: per-completion DMA checks) skip the query entirely when the
+        #: plan has no fault of that class — an empty list can never
+        #: match, so skipping is observationally transparent.
+        self.has_compute_faults = bool(plan.compute)
+        self.has_link_faults = bool(plan.links)
+        self.has_dma_faults = bool(plan.dma)
+        self.has_tracker_faults = bool(plan.tracker)
         #: remaining affected-completion budget per plan.dma entry.
         self._dma_budgets: List[int] = [f.max_events for f in plan.dma]
         #: per-(seam, entity) draw counters for deterministic coin flips.

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.memory.request import AccessKind, Stream
 from repro.sim.engine import BaseEvent, SimulationError
+from repro.sim.machines import CallbackMachine, CompletionGroup
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.gpu.gpu import GPU
@@ -61,6 +62,181 @@ class DMACommand:
     @property
     def nbytes(self) -> int:
         return sum(nbytes for _wg, nbytes in self.wg_slices)
+
+
+class _SliceMachine(CallbackMachine):
+    """One wg-slice transfer: local reads → link → remote writes/updates.
+
+    Stage map (each boundary armed where the generator's event sat):
+    0 = boot, 1 = reads landed (skipped straight through for pure
+    forwarding), 2 = remote writes landed, 3 = completion (reports to
+    the command's group).
+    """
+
+    __slots__ = ("engine", "command", "wg_id", "nbytes", "group",
+                 "_stage", "_pending")
+
+    def __init__(self, engine: "DMAEngine", command: DMACommand,
+                 wg_id: int, nbytes: int, group: CompletionGroup):
+        super().__init__(engine.env)
+        self.engine = engine
+        self.command = command
+        self.wg_id = wg_id
+        self.nbytes = nbytes
+        self.group = group
+        self._stage = 0
+        self._pending = 0
+
+    def _advance(self, _event: BaseEvent) -> None:
+        stage = self._stage
+        engine = self.engine
+        if stage == 0:
+            self._stage = 1
+            command = self.command
+            if command.read_source:
+                reads = engine.gpu.mc.submit_bulk(
+                    AccessKind.READ, Stream.COMM, self.nbytes,
+                    command.label, chunk_id=command.chunk_id)
+                self._pending = len(reads)
+                cb = self._read_done
+                for ev in reads:
+                    ev.add_callback(cb)
+                return
+            # Pure forwarding (e.g. all-gather reusing a just-received
+            # buffer): straight onto the wire in the boot slot, exactly
+            # as the generator did.
+            stage = 1
+        if stage == 1:
+            engine.gpu.link_to(self.command.dst_gpu_id).transfer(
+                self.nbytes).add_callback(self._arrived)
+            return
+        if stage == 2:
+            engine.bytes_moved += self.nbytes
+            self._stage = 3
+            self._arm()
+            return
+        self.group.done_one()
+
+    def _read_done(self, _event: BaseEvent) -> None:
+        self._pending -= 1
+        if not self._pending:
+            self._arm()
+
+    def _arrived(self, _event: BaseEvent) -> None:
+        command = self.command
+        remote = self.engine.gpu.peer(command.dst_gpu_id)
+        writes = remote.mc.submit_bulk(
+            command.op, Stream.COMM, self.nbytes, command.label,
+            wg_id=self.wg_id, chunk_id=command.chunk_id)
+        self._pending = len(writes)
+        cb = self._write_done
+        for ev in writes:
+            ev.add_callback(cb)
+
+    def _write_done(self, _event: BaseEvent) -> None:
+        self._pending -= 1
+        if not self._pending:
+            self._stage = 2
+            self._arm()
+
+
+class _CommandMachine(CallbackMachine):
+    """One triggered DMA command: launch slices (optionally paced), wait
+    for all of them, then run the completion/notification block.
+
+    Stage map: 0 = boot, 1 = launch the next slice after a pacing gap,
+    2 = all slices finished, 3 = final no-op slot (the former command
+    process's completion event, kept for event-count parity).
+    """
+
+    __slots__ = ("engine", "command", "start_ns", "_stage", "_index",
+                 "_gap", "_group")
+
+    def __init__(self, engine: "DMAEngine", command: DMACommand):
+        super().__init__(engine.env)
+        self.engine = engine
+        self.command = command
+        self.start_ns = 0.0
+        self._stage = 0
+        self._index = 0
+        self._gap = 0.0
+        self._group: Optional[CompletionGroup] = None
+
+    def _advance(self, _event: BaseEvent) -> None:
+        stage = self._stage
+        engine = self.engine
+        env = self.env
+        command = self.command
+        if stage == 0:
+            self.start_ns = env._now
+            # Command pacing is an overlap-policy decision: a positive
+            # gap staggers slice launches to soften the DRAM/link burst;
+            # gap 0 (the paper's behavior, and every run without a
+            # policy) takes the launch-all-at-once path unchanged.
+            gap = 0.0
+            overlap = env.overlap
+            if overlap is not None:
+                gap = overlap.dma_pacing_gap(engine.gpu.gpu_id, command)
+            slices = command.wg_slices
+            group = self._group = CompletionGroup(env, len(slices))
+            if gap > 0.0:
+                self._gap = gap
+                _SliceMachine(engine, command, *slices[0], group).start()
+                self._index = 1
+                if len(slices) > 1:
+                    self._stage = 1
+                    self._arm(gap)
+                    return
+            else:
+                for wg_id, nbytes in slices:
+                    _SliceMachine(engine, command, wg_id, nbytes,
+                                  group).start()
+            self._stage = 2
+            group.add_callback(self._advance)
+            return
+        if stage == 1:
+            slices = command.wg_slices
+            _SliceMachine(engine, command, *slices[self._index],
+                          self._group).start()
+            self._index += 1
+            if self._index < len(slices):
+                self._arm(self._gap)
+                return
+            self._stage = 2
+            self._group.add_callback(self._advance)
+            return
+        if stage == 2:
+            now = env._now
+            start = self.start_ns
+            engine._finished_at[command.command_id] = now
+            engine.inflight_commands -= 1
+            engine.inflight_bytes -= command.nbytes
+            if env.obs is not None:
+                scope = env.obs.scope(engine.gpu.gpu_id, "dma")
+                scope.count("completions")
+                scope.observe("transfer_ns", now - start)
+                scope.span("transfer", start, now)
+                if command.stage is not None:
+                    scope.span(f"stage.{command.stage}", start, now)
+                scope.gauge("inflight_commands").set(
+                    now, engine.inflight_commands)
+                scope.gauge("inflight_bytes").set(
+                    now, engine.inflight_bytes)
+            if env.trace is not None:
+                args = {"bytes": command.nbytes, "chunk": command.chunk_id,
+                        "dst": command.dst_gpu_id}
+                if command.stage is not None:
+                    args["stage"] = command.stage
+                env.trace.span(
+                    name=f"{command.command_id}->gpu{command.dst_gpu_id}",
+                    category="dma", start_ns=start, end_ns=now,
+                    track=f"GPU{engine.gpu.gpu_id}.dma", group="compute",
+                    args=args)
+            engine._deliver_completion(command)
+            self._stage = 3
+            self._arm()
+            return
+        # Final slot: the former command process's own completion event.
 
 
 class DMAEngine:
@@ -135,85 +311,17 @@ class DMAEngine:
                 self.env.now, self.inflight_commands)
             scope.gauge("inflight_bytes").set(
                 self.env.now, self.inflight_bytes)
-        self.env.process(
-            self._run(command), name=f"dma.{self.gpu.gpu_id}.{command_id}")
+        _CommandMachine(self, command).start()
         if self.env.resilience is not None:
             self.env.resilience.watch_dma(self, command)
         return self._completions[command_id]
 
     # -- execution ----------------------------------------------------------------
-
-    def _slice_proc(self, command: DMACommand, wg_id: int, nbytes: int):
-        gpu = self.gpu
-        if command.read_source:
-            reads = gpu.mc.submit_bulk(
-                AccessKind.READ, Stream.COMM, nbytes, command.label,
-                chunk_id=command.chunk_id)
-            if reads:
-                yield self.env.all_of(reads)
-        link = gpu.link_to(command.dst_gpu_id)
-        yield link.transfer(nbytes)
-        remote = gpu.peer(command.dst_gpu_id)
-        writes = remote.mc.submit_bulk(
-            command.op, Stream.COMM, nbytes, command.label,
-            wg_id=wg_id, chunk_id=command.chunk_id)
-        if writes:
-            yield self.env.all_of(writes)
-        self.bytes_moved += nbytes
-
-    def _run(self, command: DMACommand):
-        start = self.env.now
-        # Command pacing is an overlap-policy decision: a positive gap
-        # staggers slice launches to soften the DRAM/link burst; gap 0
-        # (the paper's behavior, and every run without a policy) takes
-        # the launch-all-at-once path unchanged.
-        overlap = self.env.overlap
-        gap = 0.0
-        if overlap is not None:
-            gap = overlap.dma_pacing_gap(self.gpu.gpu_id, command)
-        if gap > 0.0:
-            slice_procs = []
-            for index, (wg_id, nbytes) in enumerate(command.wg_slices):
-                if index:
-                    yield self.env.timeout(gap)
-                slice_procs.append(self.env.process(
-                    self._slice_proc(command, wg_id, nbytes),
-                    name=f"dma-slice.{command.command_id}.{wg_id}",
-                ))
-        else:
-            slice_procs = [
-                self.env.process(
-                    self._slice_proc(command, wg_id, nbytes),
-                    name=f"dma-slice.{command.command_id}.{wg_id}",
-                )
-                for wg_id, nbytes in command.wg_slices
-            ]
-        yield self.env.all_of(slice_procs)
-        self._finished_at[command.command_id] = self.env.now
-        self.inflight_commands -= 1
-        self.inflight_bytes -= command.nbytes
-        if self.env.obs is not None:
-            scope = self.env.obs.scope(self.gpu.gpu_id, "dma")
-            scope.count("completions")
-            scope.observe("transfer_ns", self.env.now - start)
-            scope.span("transfer", start, self.env.now)
-            if command.stage is not None:
-                scope.span(f"stage.{command.stage}", start, self.env.now)
-            scope.gauge("inflight_commands").set(
-                self.env.now, self.inflight_commands)
-            scope.gauge("inflight_bytes").set(
-                self.env.now, self.inflight_bytes)
-        if self.env.trace is not None:
-            args = {"bytes": command.nbytes, "chunk": command.chunk_id,
-                    "dst": command.dst_gpu_id}
-            if command.stage is not None:
-                args["stage"] = command.stage
-            self.env.trace.span(
-                name=f"{command.command_id}->gpu{command.dst_gpu_id}",
-                category="dma", start_ns=start, end_ns=self.env.now,
-                track=f"GPU{self.gpu.gpu_id}.dma", group="compute",
-                args=args)
-        self._deliver_completion(command)
+    #
+    # One _CommandMachine per trigger and one _SliceMachine per wg slice:
+    # the callback replacements for the former _run / _slice_proc
+    # generator processes, armed at the same slots those processes'
+    # events occupied (see repro.sim.machines for the parity contract).
 
     def _deliver_completion(self, command: DMACommand) -> None:
         """Notify completion waiters — the injection seam for misdelivered
@@ -221,7 +329,7 @@ class DMAEngine:
         event = self._completions[command.command_id]
         faults = self.env.faults
         fault = None
-        if faults is not None:
+        if faults is not None and faults.has_dma_faults:
             fault = faults.dma_completion_fault(
                 self.gpu.gpu_id, command.command_id)
         if fault is None:

@@ -161,6 +161,11 @@ class GEMMKernel:
 
         stages = self.grid.stages
         n_waves = max(1, gpu.system.fidelity.gemm_waves_per_stage)
+        # Fault seam resolved once per kernel: env.faults never changes
+        # mid-run, and an injector whose plan has no compute faults always
+        # answers 1.0 — skip the per-wave query in both cases.
+        faults = env.faults
+        straggled = faults is not None and faults.has_compute_faults
         pending_reads = (
             self._issue_wave(gpu, 0, 0, n_waves) if stages else []
         )
@@ -195,10 +200,10 @@ class GEMMKernel:
                         gpu, next_stage, next_wave, n_waves)
                 # (pending_reads can be None only on a stage's last wave,
                 # when the next stage's gate is still closed.)
-                if env.faults is not None:
+                if straggled:
                     # Straggler seam: the factor is queried per wave so a
                     # windowed slowdown paces exactly the waves inside it.
-                    yield env.timeout(slice_time * env.faults.compute_factor(
+                    yield env.timeout(slice_time * faults.compute_factor(
                         gpu.gpu_id, env.now))
                 else:
                     yield env.timeout(slice_time)

@@ -27,6 +27,7 @@ from typing import Callable, Deque, Optional
 from repro.memory.arbiter import ArbiterState, ArbitrationPolicy
 from repro.memory.request import AccessKind, MemRequest, Stream
 from repro.sim.engine import BaseEvent, Environment
+from repro.sim.primitives import ReusableTimer
 
 
 class HBMChannel:
@@ -67,6 +68,12 @@ class HBMChannel:
         self._service_idle = True
         self._servicing: Optional[MemRequest] = None
         self._service_duration = 0.0
+        # Recycled tick events: each machine sleeps at most once at a
+        # time, so one timer object per wake/chain/service seam replaces
+        # a fresh event allocation per tick (see ReusableTimer).
+        self._issue_timer = ReusableTimer(env, self._issue_tick)
+        self._service_wake = ReusableTimer(env, self._service_tick)
+        self._service_timer = ReusableTimer(env, self._service_done)
         self.busy_time = 0.0
         self.bytes_serviced = 0.0
         self.bytes_enqueued = 0.0
@@ -95,9 +102,7 @@ class HBMChannel:
             self._q_compute.append(request)
         if self._issue_idle:
             self._issue_idle = False
-            wake = BaseEvent(env)
-            wake._callbacks.append(self._issue_tick)
-            wake.succeed()
+            self._issue_timer.arm()
 
     @property
     def dram_occupancy(self) -> int:
@@ -205,10 +210,8 @@ class HBMChannel:
         self.policy.on_issue(choice, env._now)
         if self._service_idle:
             self._service_idle = False
-            wake = BaseEvent(env)
-            wake._callbacks.append(self._service_tick)
-            wake.succeed()
-        env.timeout(0)._callbacks.append(self._issue_tick)
+            self._service_wake.arm()
+        self._issue_timer.arm()
 
     def _service_tick(self, _event: Optional[BaseEvent] = None) -> None:
         """Pull the next request into service, or go idle."""
@@ -223,7 +226,7 @@ class HBMChannel:
             duration = duration * self.ccdwl_factor
         self._servicing = request
         self._service_duration = duration
-        self.env.timeout(duration)._callbacks.append(self._service_done)
+        self._service_timer.arm(duration)
 
     def _service_done(self, _event: BaseEvent) -> None:
         """Retire the request in service, then chain to the next one."""
@@ -283,7 +286,5 @@ class HBMChannel:
         # serviced request without changing any decision.
         if self._issue_idle and (self._q_compute or self._q_comm):
             self._issue_idle = False
-            wake = BaseEvent(env)
-            wake._callbacks.append(self._issue_tick)
-            wake.succeed()
+            self._issue_timer.arm()
         self._service_tick()

@@ -39,6 +39,11 @@ class Stream(enum.Enum):
 
 _request_ids = itertools.count()
 
+#: memoized ``label.kind`` accounting keys — one f-string per distinct
+#: (label, kind) pair instead of one per request (tens of thousands of
+#: requests per simulation share a handful of keys).
+_counter_keys: dict = {}
+
 
 @dataclass(slots=True)
 class MemRequest:
@@ -62,7 +67,11 @@ class MemRequest:
     def __post_init__(self) -> None:
         if self.nbytes <= 0:
             raise ValueError("memory request must move a positive byte count")
-        self.counter_key = f"{self.label}.{self.kind.value}"
+        key = (self.label, self.kind)
+        counter_key = _counter_keys.get(key)
+        if counter_key is None:
+            counter_key = _counter_keys[key] = f"{self.label}.{self.kind.value}"
+        self.counter_key = counter_key
 
     @property
     def has_tracker_metadata(self) -> bool:

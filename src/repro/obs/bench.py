@@ -34,15 +34,23 @@ from typing import Any, Dict, List
 #: ``repro.experiments.adaptive``) — so a regression that stops the
 #: adaptive controller from paying on the faulty suites fails the bench
 #: gate, not just the smoke test.
+#:
+#: v5: adds the required top-level ``throughput`` object (pure-simulation
+#: vs profiled cases/s — ``cases_per_second`` keeps its v2 meaning, the
+#: profiled loop, for cross-version comparability) and the required
+#: top-level ``surrogate`` object — the calibrated-surrogate triage's
+#: training-fit and audit-slice error statistics plus the simulated
+#: fraction (see ``repro.surrogate``) — so both the engine fast path and
+#: the analytic shortcut's accuracy are gated trajectory metrics.
 BENCH_SCHEMA = "t3-bench"
-BENCH_SCHEMA_VERSION = 4
+BENCH_SCHEMA_VERSION = 5
 
 #: modes a bench point can be captured in.
 BENCH_MODES = ("smoke", "fast", "full")
 
 _REQUIRED_TOP = ("schema", "schema_version", "mode", "captured_at",
-                 "host", "wall_clock_s", "cases_per_second", "chaos",
-                 "policy", "experiments")
+                 "host", "wall_clock_s", "cases_per_second", "throughput",
+                 "chaos", "policy", "surrogate", "experiments")
 _REQUIRED_EXPERIMENT = ("case", "wall_clock_s", "speedups",
                         "overlap_efficiency")
 #: the chaos-campaign metrics every bench point carries (v3).
@@ -53,11 +61,22 @@ _REQUIRED_CHAOS = ("scenarios", "survival_rate", "baseline_survival_rate",
 _REQUIRED_POLICY = ("suites", "adaptive_wins", "geomean_exposed_reduction")
 _REQUIRED_POLICY_SUITE = ("static_exposed_ns", "adaptive_exposed_ns",
                           "adaptive_wins")
+#: the throughput split every bench point carries (v5): the same case
+#: loop timed bare (``pure_sim_cases_per_second``) and with telemetry +
+#: overlap profiling attached (``profiled_cases_per_second``, equal to
+#: the top-level ``cases_per_second``).
+_REQUIRED_THROUGHPUT = ("pure_sim_cases_per_second",
+                        "profiled_cases_per_second")
+#: the surrogate-triage metrics every bench point carries (v5).
+_REQUIRED_SURROGATE = ("n_scored", "n_simulated", "simulated_fraction",
+                       "train_mae_rel", "audit_mae_rel",
+                       "audit_geomean_rel", "audit_n")
 
 
 def build_payload(mode: str, captured_at: str, host: Dict[str, str],
                   wall_clock_s: float, cases_per_second: float,
-                  chaos: Dict[str, Any], policy: Dict[str, Any],
+                  throughput: Dict[str, Any], chaos: Dict[str, Any],
+                  policy: Dict[str, Any], surrogate: Dict[str, Any],
                   experiments: List[Dict[str, Any]]) -> Dict[str, Any]:
     """Assemble a bench point; raises on anything the schema rejects."""
     payload = {
@@ -68,8 +87,10 @@ def build_payload(mode: str, captured_at: str, host: Dict[str, str],
         "host": host,
         "wall_clock_s": wall_clock_s,
         "cases_per_second": cases_per_second,
+        "throughput": throughput,
         "chaos": chaos,
         "policy": policy,
+        "surrogate": surrogate,
         "experiments": experiments,
     }
     errors = validate(payload)
@@ -106,14 +127,56 @@ def validate(payload: Any) -> List[str]:
         errors.append("wall_clock_s must be a positive number")
     if not _positive_number(payload["cases_per_second"]):
         errors.append("cases_per_second must be a positive number")
+    errors.extend(_validate_throughput(payload["throughput"]))
     errors.extend(_validate_chaos(payload["chaos"]))
     errors.extend(_validate_policy(payload["policy"]))
+    errors.extend(_validate_surrogate(payload["surrogate"]))
     experiments = payload["experiments"]
     if not isinstance(experiments, list) or not experiments:
         errors.append("experiments must be a non-empty list")
         return errors
     for index, entry in enumerate(experiments):
         errors.extend(_validate_experiment(index, entry))
+    return errors
+
+
+def _validate_throughput(entry: Any) -> List[str]:
+    """The v5 throughput block: bare vs profiled simulation rates."""
+    if not isinstance(entry, dict):
+        return [f"throughput must be an object, got {type(entry).__name__}"]
+    errors = [f"throughput missing key {key!r}"
+              for key in _REQUIRED_THROUGHPUT if key not in entry]
+    if errors:
+        return errors
+    for key in _REQUIRED_THROUGHPUT:
+        if not _positive_number(entry[key]):
+            errors.append(f"throughput.{key} must be a positive number")
+    return errors
+
+
+def _validate_surrogate(entry: Any) -> List[str]:
+    """The v5 surrogate block: triage budget and accuracy statistics."""
+    if not isinstance(entry, dict):
+        return [f"surrogate must be an object, got {type(entry).__name__}"]
+    errors = [f"surrogate missing key {key!r}"
+              for key in _REQUIRED_SURROGATE if key not in entry]
+    if errors:
+        return errors
+    for key in ("n_scored", "n_simulated", "audit_n"):
+        value = entry[key]
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            errors.append(f"surrogate.{key} must be a non-negative integer")
+    if not errors and entry["n_scored"] < 1:
+        errors.append("surrogate.n_scored must be at least 1")
+    fraction = entry["simulated_fraction"]
+    if not isinstance(fraction, (int, float)) or isinstance(fraction, bool) \
+            or not 0.0 <= fraction <= 1.0:
+        errors.append("surrogate.simulated_fraction must be a number "
+                      "in [0, 1]")
+    for key in ("train_mae_rel", "audit_mae_rel", "audit_geomean_rel"):
+        if not _non_negative_number(entry[key]):
+            errors.append(f"surrogate.{key} must be a non-negative number")
     return errors
 
 

@@ -53,6 +53,9 @@ class Gauge:
     was the queue, for how long" — not just "what values did it visit".
     """
 
+    __slots__ = ("name", "samples", "last_value", "last_time",
+                 "high_water", "low_water", "_weighted_sum", "_level_time")
+
     def __init__(self, name: str):
         self.name = name
         self.samples: List[Tuple[float, float]] = []
@@ -64,21 +67,28 @@ class Gauge:
         self._level_time: Dict[float, float] = {}
 
     def set(self, now: float, value: float) -> None:
-        if self.last_time is not None:
-            if now < self.last_time:
+        # Branchy spelling instead of max()/min() builtins: a DRAM
+        # occupancy gauge is set twice per serviced request, so two
+        # function calls per sample are measurable.
+        last_time = self.last_time
+        if last_time is not None:
+            if now < last_time:
                 raise ValueError(
                     f"gauge {self.name!r} must be set in time order "
-                    f"({now} < {self.last_time})")
-            dt = now - self.last_time
+                    f"({now} < {last_time})")
+            dt = now - last_time
             if dt > 0:
-                self._weighted_sum += self.last_value * dt
-                self._level_time[self.last_value] = (
-                    self._level_time.get(self.last_value, 0.0) + dt)
+                last_value = self.last_value
+                self._weighted_sum += last_value * dt
+                level_time = self._level_time
+                level_time[last_value] = level_time.get(last_value, 0.0) + dt
         self.samples.append((now, value))
         self.last_value = value
         self.last_time = now
-        self.high_water = max(self.high_water, value)
-        self.low_water = min(self.low_water, value)
+        if value > self.high_water:
+            self.high_water = value
+        if value < self.low_water:
+            self.low_water = value
 
     def add(self, now: float, delta: float) -> None:
         self.set(now, self.last_value + delta)

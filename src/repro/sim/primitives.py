@@ -53,8 +53,48 @@ class Timeout(BaseEvent):
         self._triggered = True
         self._fired = False
         self.delay = delay
-        env._seq += 1
-        heappush(env._heap, (env._now + delay, env._seq, self))
+        env.schedule(self, delay)
+
+
+class ReusableTimer(BaseEvent):
+    """A recyclable single-callback timer owned by one state machine.
+
+    The callback state machines (DRAM channels, GEMM wavefront, DMA
+    slices) sleep at most once per machine at a time, so each machine
+    can own its timer objects and re-arm them instead of allocating a
+    fresh ``Timeout`` (plus callback list) per tick.  ``arm()`` resets
+    the event slots and puts the timer back on the schedule; firing
+    happens through the ordinary engine loop, so recycling is invisible
+    to both schedulers.
+
+    Arming a timer that is still pending is a bug (the schedule holds a
+    reference to it); the guard raises instead of corrupting the run.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, env: Environment, fn):
+        self.env = env
+        self._fn = fn
+        self._callbacks = None
+        self._value = None
+        self._ok = True
+        self._triggered = False
+        self._fired = False
+
+    def arm(self, delay: float = 0.0, value: Any = None) -> None:
+        if self._callbacks is not None:
+            raise SimulationError("ReusableTimer re-armed while pending")
+        self._callbacks = [self._fn]
+        self._value = value
+        self._triggered = True
+        self._fired = False
+        # Inlined Environment.schedule() zero-delay fast path (ticks are
+        # overwhelmingly zero-delay wakes/chains).
+        if delay == 0.0:
+            self.env._now_q.append(self)
+        else:
+            self.env.schedule(self, delay)
 
 
 class AllOf(BaseEvent):
@@ -327,6 +367,10 @@ class Pipe:
         self.bytes_sent = 0
         self.busy_time = 0.0
         self.stall_time = 0.0
+        # Obs counter keys, built once: transfer() runs per chunk-quantum
+        # and an f-string per call is measurable at that rate.
+        self._obs_key_bytes = f"{name}.bytes"
+        self._obs_key_stall = f"{name}.stall_ns"
 
     def transfer(self, nbytes: float) -> BaseEvent:
         """Start a transfer; returns an event firing on arrival.
@@ -343,7 +387,8 @@ class Pipe:
         start = now if now >= self._wire_free_at else self._wire_free_at
         faults = env.faults
         stall = 0.0
-        if faults is not None and endpoints is not None:
+        if (faults is not None and endpoints is not None
+                and faults.has_link_faults):
             stall = faults.transfer_stall(endpoints[0], endpoints[1], now)
             if stall:
                 start += stall
@@ -366,9 +411,9 @@ class Pipe:
             src = endpoints[0] if endpoints is not None else -1
             scope = obs.scope(src, "link")
             scope.span(self.name, start, start + serialization)
-            scope.count(f"{self.name}.bytes", nbytes)
+            scope.count(self._obs_key_bytes, nbytes)
             if stall:
-                scope.count(f"{self.name}.stall_ns", stall)
+                scope.count(self._obs_key_stall, stall)
         trace = env.trace
         if trace is not None:
             trace.span(

@@ -1,0 +1,38 @@
+"""Calibrated analytic surrogate for large sub-layer sweeps.
+
+The event simulator is the ground truth but costs ~0.5-1 s per case; a
+10k-case design sweep at that price is an hour of CPU.  This package
+maps the repo's closed-form analytic estimates (collective ring models +
+GEMM roofline) onto simulated wall-clock with per-(config, sub-layer,
+TP) multiplicative correction factors fitted on previously simulated
+cases, then drives a *triaged* sweep: score every case analytically,
+full-simulate only the predicted frontier plus a random audit slice, and
+report the audit error so the shortcut is always accompanied by its own
+accuracy bill.
+
+Entry points:
+
+* :func:`repro.surrogate.features.analytic_times` — uncorrected
+  closed-form per-config estimates for one case.
+* :class:`repro.surrogate.model.CalibratedSurrogate` — fitted factors.
+* :func:`repro.surrogate.harvest.harvest_cache` — training records from
+  the persistent sweep cache.
+* :func:`repro.surrogate.triage.triaged_sweep` — the end-to-end flow
+  (also reachable as ``run_sweep(triage="surrogate")``).
+"""
+
+from repro.surrogate.features import analytic_times, gemm_analytic_time
+from repro.surrogate.harvest import harvest_cache, records_from_suite
+from repro.surrogate.model import CalibratedSurrogate, TrainingRecord
+from repro.surrogate.triage import TriageResult, triaged_sweep
+
+__all__ = [
+    "CalibratedSurrogate",
+    "TrainingRecord",
+    "TriageResult",
+    "analytic_times",
+    "gemm_analytic_time",
+    "harvest_cache",
+    "records_from_suite",
+    "triaged_sweep",
+]

@@ -1,0 +1,207 @@
+"""Per-bucket affine calibration of the analytic estimates.
+
+A training record pairs one config's analytic estimate with its
+simulated wall-clock for a case.  Empirically the gap between the two is
+an almost-unit slope plus a slowly-growing fixed cost (collective launch
+sequencing, DMA chunk latencies, memory-quantum granularity) — so the
+model fitted per ``(config, sub-layer, TP)`` bucket is **affine**:
+
+    simulated ~= slope * analytic + intercept_ns
+
+fit by least squares weighted for *relative* error (weight ``1/y^2``),
+which is what the audit metric measures.  A bucket with fewer than two
+distinct-size observations cannot identify an intercept and degrades to
+a pure ratio (geometric-mean ``simulated/analytic``).
+
+Fallback chain on predict (most to least specific):
+
+    (config, sublayer, tp) -> (config, sublayer) -> (config,) -> identity
+
+so a bucket never seen in training still benefits from the config-wide
+calibration, and a completely cold model returns the raw analytic
+estimate instead of failing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: (slope, intercept_ns) of one fitted bucket.
+Affine = Tuple[float, float]
+
+_IDENTITY: Affine = (1.0, 0.0)
+
+
+@dataclass(frozen=True)
+class TrainingRecord:
+    """One (case, config) observation: analytic estimate vs simulation."""
+
+    config: str
+    sublayer: str
+    tp: int
+    analytic_ns: float
+    simulated_ns: float
+
+    @property
+    def ratio(self) -> float:
+        """Simulated / analytic — the correction a 1-point bucket learns."""
+        return self.simulated_ns / self.analytic_ns
+
+
+def _geomean(values: Sequence[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _fit_affine(pairs: Sequence[Tuple[float, float]]) -> Affine:
+    """Relative-error weighted least squares ``y ~= a*x + b``.
+
+    Weighting each residual by ``1/y`` makes the fit minimize the same
+    relative-error objective the audit reports.  Degenerate inputs (a
+    single point, or no size spread to separate slope from intercept)
+    fall back to the geomean ratio through the origin.
+    """
+    xs = [x for x, _ in pairs]
+    if len(pairs) < 2 or max(xs) < 1.2 * min(xs):
+        return (_geomean([y / x for x, y in pairs]), 0.0)
+    sw = swx = swxx = swy = swxy = 0.0
+    for x, y in pairs:
+        w = 1.0 / (y * y)
+        sw += w
+        swx += w * x
+        swxx += w * x * x
+        swy += w * y
+        swxy += w * x * y
+    det = swxx * sw - swx * swx
+    if det <= 0.0:
+        return (_geomean([y / x for x, y in pairs]), 0.0)
+    slope = (swxy * sw - swx * swy) / det
+    intercept = (swy * swxx - swx * swxy) / det
+    if slope <= 0.0:
+        # A negative slope would predict nonsense outside the training
+        # range; this only happens on adversarial/noisy tiny buckets.
+        return (_geomean([y / x for x, y in pairs]), 0.0)
+    return (slope, intercept)
+
+
+class CalibratedSurrogate:
+    """Analytic-time corrector with bucketed affine fits."""
+
+    def __init__(self,
+                 fine: Dict[Tuple[str, str, int], Affine],
+                 mid: Dict[Tuple[str, str], Affine],
+                 coarse: Dict[str, Affine],
+                 n_records: int = 0):
+        self._fine = dict(fine)
+        self._mid = dict(mid)
+        self._coarse = dict(coarse)
+        self.n_records = n_records
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def fit(cls, records: Iterable[TrainingRecord]) -> "CalibratedSurrogate":
+        """Fit affine corrections at all three bucket levels."""
+        fine: Dict[Tuple[str, str, int], List[Tuple[float, float]]] = {}
+        mid: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+        coarse: Dict[str, List[Tuple[float, float]]] = {}
+        count = 0
+        for rec in records:
+            if rec.analytic_ns <= 0 or rec.simulated_ns <= 0:
+                continue
+            count += 1
+            pair = (rec.analytic_ns, rec.simulated_ns)
+            fine.setdefault((rec.config, rec.sublayer, rec.tp),
+                            []).append(pair)
+            mid.setdefault((rec.config, rec.sublayer), []).append(pair)
+            coarse.setdefault(rec.config, []).append(pair)
+        return cls(
+            fine={k: _fit_affine(v) for k, v in fine.items()},
+            mid={k: _fit_affine(v) for k, v in mid.items()},
+            coarse={k: _fit_affine(v) for k, v in coarse.items()},
+            n_records=count,
+        )
+
+    # -- inference --------------------------------------------------------------
+
+    def correction(self, config: str, sublayer: str, tp: int) -> Affine:
+        factor = self._fine.get((config, sublayer, tp))
+        if factor is None:
+            factor = self._mid.get((config, sublayer))
+        if factor is None:
+            factor = self._coarse.get(config)
+        return _IDENTITY if factor is None else factor
+
+    def predict(self, config: str, sublayer: str, tp: int,
+                analytic_ns: float) -> float:
+        slope, intercept = self.correction(config, sublayer, tp)
+        predicted = slope * analytic_ns + intercept
+        # An extrapolated negative intercept must never undercut the
+        # physics: the simulation cannot beat the uncorrected roofline.
+        return max(predicted, analytic_ns)
+
+    def covers(self, config: str, sublayer: str, tp: int) -> bool:
+        """True when the *fine* bucket was seen in training."""
+        return (config, sublayer, tp) in self._fine
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self._fine)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self, records: Iterable[TrainingRecord]) -> Dict[str, float]:
+        """Error report: mean / geomean / max relative error.
+
+        The geomean is computed over ``1 + |rel err|`` (minus one again
+        at the end) so exact predictions — common when a grid contains
+        duplicate effective shapes — do not collapse it to zero.
+        """
+        rel_errors: List[float] = []
+        for rec in records:
+            if rec.analytic_ns <= 0 or rec.simulated_ns <= 0:
+                continue
+            predicted = self.predict(rec.config, rec.sublayer, rec.tp,
+                                     rec.analytic_ns)
+            rel_errors.append(abs(predicted - rec.simulated_ns)
+                              / rec.simulated_ns)
+        if not rel_errors:
+            return {"n": 0, "mae_rel": 0.0, "geomean_rel": 0.0,
+                    "max_rel": 0.0}
+        log_sum = sum(math.log1p(e) for e in rel_errors)
+        return {
+            "n": len(rel_errors),
+            "mae_rel": sum(rel_errors) / len(rel_errors),
+            "geomean_rel": math.expm1(log_sum / len(rel_errors)),
+            "max_rel": max(rel_errors),
+        }
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_records": self.n_records,
+            "fine": {f"{c}|{s}|{tp}": list(a)
+                     for (c, s, tp), a in sorted(self._fine.items())},
+            "mid": {f"{c}|{s}": list(a)
+                    for (c, s), a in sorted(self._mid.items())},
+            "coarse": {c: list(a)
+                       for c, a in sorted(self._coarse.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CalibratedSurrogate":
+        fine: Dict[Tuple[str, str, int], Affine] = {}
+        for key, affine in data.get("fine", {}).items():
+            config, sublayer, tp = key.split("|")
+            fine[(config, sublayer, int(tp))] = (float(affine[0]),
+                                                 float(affine[1]))
+        mid: Dict[Tuple[str, str], Affine] = {}
+        for key, affine in data.get("mid", {}).items():
+            config, sublayer = key.split("|")
+            mid[(config, sublayer)] = (float(affine[0]), float(affine[1]))
+        coarse = {key: (float(a[0]), float(a[1]))
+                  for key, a in data.get("coarse", {}).items()}
+        return cls(fine=fine, mid=mid, coarse=coarse,
+                   n_records=int(data.get("n_records", 0)))

@@ -114,6 +114,7 @@ class Tracker:
         if expected <= 0:
             raise ValueError("a tracked region must expect positive bytes")
         if self.env is not None and self.env.faults is not None \
+                and self.env.faults.has_tracker_faults \
                 and self.env.faults.tracker_eviction_due(self.gpu_id):
             self._force_evict()
         key = self._key(wg_id, wf_id)

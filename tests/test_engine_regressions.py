@@ -267,3 +267,111 @@ def test_optimized_scheduler_matches_legacy(program):
     count, and execution trace — the bit-identity contract at the
     engine level."""
     assert _execute("optimized", program) == _execute("legacy", program)
+
+
+# --------------------------------- schedule() ordering edge cases
+
+
+def test_schedule_same_time_events_fire_fifo():
+    """Events landing on the *current* timestamp (zero delay, or a delay
+    small enough that ``now + delay == now`` in float) must fire in
+    scheduling order.  This is the tuple-ordering edge case the old
+    duplicated ``heappush`` sites each handled with their own seq
+    counter; ``Environment.schedule`` is now the single seam."""
+    for scheduler in ("optimized", "legacy"):
+        env = Environment(scheduler=scheduler)
+        log = []
+        events = [Event(env) for _ in range(8)]
+        for index, event in enumerate(events):
+            event.add_callback(
+                lambda ev, index=index: log.append((index, env.now)))
+
+        def proc():
+            yield env.timeout(5)
+            for index, event in enumerate(events):
+                # Alternate exact-zero and denormal-small delays: both
+                # round to the current timestamp and must stay FIFO.
+                env.schedule(event, 0.0 if index % 2 == 0 else 1e-300)
+
+        env.process(proc())
+        env.run()
+        assert log == [(i, 5) for i in range(8)], scheduler
+
+
+def test_schedule_rejects_negative_delay():
+    from repro.sim.engine import SimulationError
+
+    env = Environment()
+    try:
+        env.schedule(Event(env), -1.0)
+    except SimulationError:
+        pass
+    else:  # pragma: no cover - failure path
+        raise AssertionError("negative delay must raise")
+
+
+def test_schedule_interleaves_future_and_now_events():
+    """A future event scheduled *before* same-time events must still
+    fire after them once the clock reaches its timestamp, and same-time
+    events enqueued by a firing event run before the clock advances."""
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(3)
+        log.append(("first", env.now))
+        follow = Event(env)
+        follow.add_callback(lambda ev: log.append(("follow", env.now)))
+        env.schedule(follow)  # same timestamp: runs before t=7 below
+        yield env.timeout(4)
+        log.append(("second", env.now))
+
+    env.process(proc())
+    env.run()
+    assert log == [("first", 3), ("follow", 3), ("second", 7)]
+
+
+# ----------------------- converted state machines (model-layer PBT)
+
+
+_TINY_HIDDEN = st.sampled_from([512, 1024])
+_TINY_SEQ = st.sampled_from([256, 512])
+_TINY_TP = st.sampled_from([2, 4])
+_TINY_SUBLAYER = st.sampled_from(["OP", "FC-2", "IP"])
+
+
+@settings(deadline=None, max_examples=6)
+@given(hidden=_TINY_HIDDEN, seq_len=_TINY_SEQ, tp=_TINY_TP,
+       sublayer=_TINY_SUBLAYER)
+def test_converted_machines_match_legacy_on_sublayer_cases(
+        hidden, seq_len, tp, sublayer):
+    """End-to-end equivalence over the converted GEMM/DMA/link state
+    machines: a random sub-layer case simulated under both schedulers
+    must produce an identical suite payload (all config times, traffic)
+    and identical telemetry snapshots (which embed event ordering via
+    time-stamped series and end_time)."""
+    from repro.config import table1_system
+    from repro.experiments.common import run_sublayer_suite
+    from repro.models.transformer import TransformerConfig
+    from repro.sim.engine import set_default_scheduler
+
+    model = TransformerConfig(name="pbt", hidden=hidden, n_layers=1,
+                              seq_len=seq_len, batch=1)
+    sub = model.sublayer(sublayer, tp)
+    system = table1_system(n_gpus=tp)
+
+    def run_once(scheduler):
+        previous = set_default_scheduler(scheduler)
+        try:
+            registries = {}
+            suite = run_sublayer_suite(
+                system, sub.gemm, label=sub.label,
+                configs=["Sequential", "T3", "T3-MCA"],
+                obs_sink=registries)
+            snapshots = {name: registry.snapshot()
+                         for name, registry in registries.items()}
+            return suite.to_dict(), snapshots
+        finally:
+            set_default_scheduler(previous)
+
+    assert run_once("optimized") == run_once("legacy")

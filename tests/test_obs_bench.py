@@ -68,6 +68,29 @@ def policy(**overrides):
     return entry
 
 
+def throughput(**overrides):
+    entry = {
+        "pure_sim_cases_per_second": 0.6,
+        "profiled_cases_per_second": 0.4,
+    }
+    entry.update(overrides)
+    return entry
+
+
+def surrogate(**overrides):
+    entry = {
+        "n_scored": 144,
+        "n_simulated": 31,
+        "simulated_fraction": 0.2153,
+        "train_mae_rel": 0.0247,
+        "audit_mae_rel": 0.0173,
+        "audit_geomean_rel": 0.0172,
+        "audit_n": 20,
+    }
+    entry.update(overrides)
+    return entry
+
+
 def payload(**overrides):
     base = {
         "schema": BENCH_SCHEMA,
@@ -77,8 +100,10 @@ def payload(**overrides):
         "host": {"platform": "linux", "python": "3.11"},
         "wall_clock_s": 10.0,
         "cases_per_second": 0.4,
+        "throughput": throughput(),
         "chaos": chaos(),
         "policy": policy(),
+        "surrogate": surrogate(),
         "experiments": [experiment()],
     }
     base.update(overrides)
@@ -96,8 +121,10 @@ def test_build_payload_round_trips():
         host={"platform": "linux"},
         wall_clock_s=1.0,
         cases_per_second=1.0,
+        throughput=throughput(),
         chaos=chaos(),
         policy=policy(),
+        surrogate=surrogate(),
         experiments=[experiment()],
     )
     assert built["schema"] == BENCH_SCHEMA
@@ -108,7 +135,8 @@ def test_build_payload_raises_on_invalid():
     with pytest.raises(ValueError, match="mode"):
         build_payload(mode="warp", captured_at="t", host={},
                       wall_clock_s=1.0, cases_per_second=1.0,
-                      chaos=chaos(), policy=policy(),
+                      throughput=throughput(), chaos=chaos(),
+                      policy=policy(), surrogate=surrogate(),
                       experiments=[experiment()])
 
 
@@ -259,6 +287,59 @@ def test_policy_suite_field_validation():
                                   adaptive_wins=False)}))) == []
 
 
+def test_throughput_block_required():
+    missing = payload()
+    del missing["throughput"]
+    assert any("throughput" in e for e in validate(missing))
+    assert validate(payload(throughput="fast")) != []
+
+
+def test_throughput_fields_must_be_positive_numbers():
+    assert validate(payload(throughput=throughput(
+        pure_sim_cases_per_second=0))) != []
+    assert validate(payload(throughput=throughput(
+        profiled_cases_per_second=-1.0))) != []
+    assert validate(payload(throughput=throughput(
+        pure_sim_cases_per_second=True))) != []
+    incomplete = throughput()
+    del incomplete["profiled_cases_per_second"]
+    errors = validate(payload(throughput=incomplete))
+    assert any("profiled_cases_per_second" in error for error in errors)
+
+
+def test_surrogate_block_required():
+    missing = payload()
+    del missing["surrogate"]
+    assert any("surrogate" in e for e in validate(missing))
+    assert validate(payload(surrogate="calibrated")) != []
+
+
+def test_surrogate_counts_and_fraction_validated():
+    assert validate(payload(surrogate=surrogate(n_scored=0))) != []
+    assert validate(payload(surrogate=surrogate(n_simulated=-1))) != []
+    assert validate(payload(surrogate=surrogate(n_simulated=2.5))) != []
+    assert validate(payload(surrogate=surrogate(
+        simulated_fraction=1.5))) != []
+    # A zero-simulation point (pre-fitted model) is representable.
+    assert validate(payload(surrogate=surrogate(
+        n_simulated=0, simulated_fraction=0.0))) == []
+
+
+def test_surrogate_error_fields_validated():
+    assert validate(payload(surrogate=surrogate(
+        audit_geomean_rel=-0.1))) != []
+    assert validate(payload(surrogate=surrogate(
+        train_mae_rel=True))) != []
+    incomplete = surrogate()
+    del incomplete["audit_n"]
+    errors = validate(payload(surrogate=incomplete))
+    assert any("audit_n" in error for error in errors)
+    # Errors above 1.0 are representable (a bad fit is reportable; CI's
+    # assertion, not the schema's, is the quality gate).
+    assert validate(payload(surrogate=surrogate(
+        audit_mae_rel=2.0))) == []
+
+
 def test_policy_verdict_and_reduction_validation():
     assert validate(payload(policy=policy(adaptive_wins="true"))) != []
     # A regression (negative reduction) is representable — the gate on
@@ -272,26 +353,32 @@ def test_policy_verdict_and_reduction_validation():
 
 
 def test_smoke_capture_populates_cases_per_second(tmp_path):
-    """End-to-end: a smoke bench capture records a positive throughput
-    (the cases/second figure of merit) plus the chaos survival and
-    overlap-policy metrics, and validates under schema v4."""
+    """End-to-end: a smoke bench capture records positive throughput
+    figures (pure-sim and profiled cases/second) plus the chaos
+    survival, overlap-policy and surrogate metrics, and validates under
+    schema v5."""
     out = tmp_path / "bench.json"
     subprocess.run(
         [sys.executable, str(REPO_ROOT / "scripts" / "bench.py"),
          "--smoke", "--out", str(out)],
-        check=True, capture_output=True, timeout=300)
+        check=True, capture_output=True, timeout=600)
     data = json.loads(out.read_text())
     assert validate(data) == []
     assert data["mode"] == "smoke"
     assert data["cases_per_second"] > 0
     assert data["cases_per_second"] == pytest.approx(
         len(data["experiments"]) / data["wall_clock_s"], rel=0.05)
+    assert data["throughput"]["profiled_cases_per_second"] == \
+        data["cases_per_second"]
+    assert data["throughput"]["pure_sim_cases_per_second"] > 0
     assert data["chaos"]["scenarios"] >= 60
     assert data["chaos"]["survival_rate"] >= 0.95
     assert data["chaos"]["invariant_violations"] == 0
     assert data["chaos"]["watchdog_hangs"] == 0
     assert data["policy"]["adaptive_wins"] is True
     assert set(data["policy"]["suites"]) >= {"degraded-link", "straggler"}
+    assert data["surrogate"]["n_scored"] >= data["surrogate"]["n_simulated"]
+    assert data["surrogate"]["audit_n"] >= 1
 
 
 def test_checked_in_trajectory_point_is_valid():
@@ -312,3 +399,9 @@ def test_checked_in_trajectory_point_is_valid():
     assert data["policy"]["geomean_exposed_reduction"] > 0
     for suite in ("degraded-link", "straggler"):
         assert data["policy"]["suites"][suite]["adaptive_wins"] is True
+    # v5: the engine-throughput split and the surrogate audit block.
+    assert data["throughput"]["profiled_cases_per_second"] == \
+        data["cases_per_second"]
+    assert data["throughput"]["pure_sim_cases_per_second"] > 0
+    assert data["surrogate"]["simulated_fraction"] <= 0.9
+    assert data["surrogate"]["audit_geomean_rel"] <= 0.05
